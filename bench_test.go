@@ -1,0 +1,272 @@
+// Benchmarks regenerating the paper's evaluation (Section 8): one
+// testing.B per figure/table, each delegating to the harness runner that
+// prints the same rows the paper reports, plus micro-benchmarks of the
+// core components. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benchmarks use a small scale factor so the full matrix
+// finishes on a laptop; pass a bigger scale through cmd/morphbench for
+// paper-sized runs.
+package morphstream_test
+
+import (
+	"fmt"
+	"testing"
+
+	"morphstream/internal/exec"
+	"morphstream/internal/harness"
+	"morphstream/internal/metrics"
+	"morphstream/internal/sched"
+	"morphstream/internal/store"
+	"morphstream/internal/tpg"
+	"morphstream/internal/workload"
+)
+
+const benchScale = harness.Scale(0.05)
+
+func benchThreads() int { return 2 }
+
+// reportOnce runs a figure experiment once per iteration and reports the
+// first throughput cell as a custom metric when present.
+func reportOnce(b *testing.B, fn func() *harness.Report) {
+	b.Helper()
+	var r *harness.Report
+	for i := 0; i < b.N; i++ {
+		r = fn()
+	}
+	if r != nil && len(r.Rows) > 0 && len(r.Rows[0]) > 1 {
+		b.ReportMetric(0, "figure") // marker metric; details in stdout of morphbench
+	}
+}
+
+// --- One benchmark per paper figure/table ---
+
+func BenchmarkFig11ThroughputSL(b *testing.B) {
+	reportOnce(b, func() *harness.Report { return harness.Fig11(benchScale, benchThreads()) })
+}
+
+func BenchmarkFig12DynamicWorkload(b *testing.B) {
+	reportOnce(b, func() *harness.Report { return harness.Fig12(benchScale, benchThreads()) })
+}
+
+func BenchmarkFig13NestedScheduling(b *testing.B) {
+	reportOnce(b, func() *harness.Report { return harness.Fig13(benchScale, benchThreads()) })
+}
+
+func BenchmarkFig14WindowQueries(b *testing.B) {
+	reportOnce(b, func() *harness.Report { return harness.Fig14(benchScale, benchThreads()) })
+}
+
+func BenchmarkFig15NonDeterministic(b *testing.B) {
+	reportOnce(b, func() *harness.Report { return harness.Fig15(benchScale, benchThreads()) })
+}
+
+func BenchmarkFig16aBreakdown(b *testing.B) {
+	reportOnce(b, func() *harness.Report { return harness.Fig16a(benchScale, benchThreads()) })
+}
+
+func BenchmarkFig16bMemoryFootprint(b *testing.B) {
+	reportOnce(b, func() *harness.Report { return harness.Fig16b(benchScale, benchThreads()) })
+}
+
+func BenchmarkFig17CleanupImpact(b *testing.B) {
+	reportOnce(b, func() *harness.Report { return harness.Fig17(benchScale, benchThreads()) })
+}
+
+func BenchmarkFig18ExplorationDecision(b *testing.B) {
+	reportOnce(b, func() *harness.Report { return harness.Fig18(benchScale, benchThreads()) })
+}
+
+func BenchmarkFig19GranularityDecision(b *testing.B) {
+	reportOnce(b, func() *harness.Report { return harness.Fig19(benchScale, benchThreads()) })
+}
+
+func BenchmarkFig20AbortDecision(b *testing.B) {
+	reportOnce(b, func() *harness.Report { return harness.Fig20(benchScale, benchThreads()) })
+}
+
+func BenchmarkFig21aMicroArchProxy(b *testing.B) {
+	reportOnce(b, func() *harness.Report { return harness.Fig21a(benchScale, benchThreads()) })
+}
+
+func BenchmarkFig21bScalability(b *testing.B) {
+	reportOnce(b, func() *harness.Report { return harness.Fig21b(benchScale, 4) })
+}
+
+func BenchmarkFig23OSED(b *testing.B) {
+	reportOnce(b, func() *harness.Report { return harness.Fig23(benchThreads()) })
+}
+
+func BenchmarkFig25SEA(b *testing.B) {
+	reportOnce(b, func() *harness.Report { return harness.Fig25(benchThreads()) })
+}
+
+// --- Component micro-benchmarks ---
+
+func BenchmarkStoreWrite(b *testing.B) {
+	t := store.NewTable()
+	t.Preload("k", int64(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Write("k", uint64(i+1), int64(i))
+	}
+}
+
+func BenchmarkStoreRead(b *testing.B) {
+	t := store.NewTable()
+	for ts := uint64(1); ts <= 1024; ts++ {
+		t.Write("k", ts, int64(ts))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Read("k", uint64(i%1024)+1)
+	}
+}
+
+func BenchmarkStoreWindowRead(b *testing.B) {
+	t := store.NewTable()
+	for ts := uint64(1); ts <= 4096; ts++ {
+		t.Write("k", ts, int64(ts))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.ReadRange("k", 1024, 2048)
+	}
+}
+
+// BenchmarkTPGConstruction measures the Planning stage alone (two-phase
+// TPG construction, Table 2's construct overhead).
+func BenchmarkTPGConstruction(b *testing.B) {
+	cfg := workload.DefaultGS()
+	cfg.Txns = 2048
+	cfg.StateSize = 512
+	cfg.ComplexityUS = 0
+	batch := workload.GS(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txns, table := batch.Materialize()
+		builder := tpg.NewBuilder(table.Keys)
+		builder.AddTxns(txns, 2)
+		builder.Finalize(2)
+	}
+}
+
+// BenchmarkExecStrategies measures the Execution stage under every point
+// of the scheduling decision space (the ablation behind Table 1).
+func BenchmarkExecStrategies(b *testing.B) {
+	cfg := workload.DefaultGS()
+	cfg.Txns = 1024
+	cfg.StateSize = 256
+	cfg.ComplexityUS = 0
+	batch := workload.GS(cfg)
+
+	for _, e := range []sched.Explore{sched.SExploreBFS, sched.SExploreDFS, sched.NSExplore} {
+		for _, g := range []sched.Granularity{sched.FSchedule, sched.CSchedule} {
+			for _, a := range []sched.AbortMode{sched.EAbort, sched.LAbort} {
+				d := sched.Decision{Explore: e, Gran: g, Abort: a}
+				b.Run(d.String(), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						txns, table := batch.Materialize()
+						builder := tpg.NewBuilder(table.Keys)
+						builder.AddTxns(txns, 2)
+						graph := builder.Finalize(2)
+						exec.Run(graph, exec.Config{Decision: d, Threads: 2, Table: table})
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkDecisionModel measures the per-batch cost of the heuristic
+// decision model (it sits on the critical path, Section 5.4).
+func BenchmarkDecisionModel(b *testing.B) {
+	in := sched.ModelInputs{
+		Props: tpg.Props{NumTxns: 10240, NumOps: 20480, NumTD: 9000, NumPD: 800, NumLD: 10000, DegreeSkew: 3},
+	}
+	for i := 0; i < b.N; i++ {
+		_ = sched.Decide(in)
+	}
+}
+
+// BenchmarkSerialOracle provides the single-thread reference cost.
+func BenchmarkSerialOracle(b *testing.B) {
+	cfg := workload.DefaultSL()
+	cfg.Txns = 1024
+	cfg.StateSize = 256
+	cfg.ComplexityUS = 0
+	batch := workload.SL(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txns, table := batch.Materialize()
+		exec.Serial(txns, table)
+	}
+}
+
+// BenchmarkBreakdownOverhead quantifies the instrumentation cost.
+func BenchmarkBreakdownOverhead(b *testing.B) {
+	bd := &metrics.Breakdown{}
+	for i := 0; i < b.N; i++ {
+		sw := metrics.Start()
+		sw.Stop(bd, metrics.Useful)
+	}
+}
+
+// BenchmarkTPGConstructionWorkers ablates the parallel two-phase
+// construction (design D1): single-worker vs multi-worker planning.
+func BenchmarkTPGConstructionWorkers(b *testing.B) {
+	cfg := workload.DefaultGS()
+	cfg.Txns = 4096
+	cfg.StateSize = 1024
+	cfg.ComplexityUS = 0
+	batch := workload.GS(cfg)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				txns, table := batch.Materialize()
+				builder := tpg.NewBuilder(table.Keys)
+				builder.AddTxns(txns, workers)
+				builder.Finalize(workers)
+			}
+		})
+	}
+}
+
+// BenchmarkNDFanOut ablates the pessimistic all-key virtual-operation
+// fan-out of non-deterministic planning (design D2, the cost behind
+// Fig. 15's MorphStream curve).
+func BenchmarkNDFanOut(b *testing.B) {
+	for _, nd := range []int{0, 16, 64} {
+		b.Run(fmt.Sprintf("nd=%d", nd), func(b *testing.B) {
+			cfg := workload.GSNDConfig{
+				Config:     workload.Config{Txns: 1024, StateSize: 512, Seed: 3},
+				NDAccesses: nd,
+			}
+			batch := workload.GSND(cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				txns, table := batch.Materialize()
+				builder := tpg.NewBuilder(table.Keys)
+				builder.AddTxns(txns, 2)
+				builder.Finalize(2)
+			}
+		})
+	}
+}
+
+// BenchmarkWindowReadCost ablates window size against plain reads
+// (design D3), the mechanism behind Fig. 14a.
+func BenchmarkWindowReadCost(b *testing.B) {
+	t := store.NewTable()
+	for ts := uint64(1); ts <= 100000; ts++ {
+		t.Write("k", ts, int64(ts))
+	}
+	for _, w := range []uint64{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("window=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t.ReadRange("k", 100000-w, 100000)
+			}
+		})
+	}
+}

@@ -1,0 +1,92 @@
+// Quickstart: a minimal MorphStream application — a transactional account
+// ledger processing a small batch of transfers with ACID guarantees over
+// streaming input.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"morphstream"
+)
+
+// transfer is the application event payload.
+type transfer struct {
+	From, To morphstream.Key
+	Amount   int64
+}
+
+// transferOp implements the three-step operator model of the paper:
+// PREPROCESS extracts the read/write sets, STATE_ACCESS issues the state
+// transaction, POSTPROCESS reports the outcome.
+var transferOp = morphstream.OperatorFuncs{
+	Pre: func(ev *morphstream.Event) (*morphstream.EventBlotter, error) {
+		eb := morphstream.NewEventBlotter()
+		eb.Params["t"] = ev.Data.(transfer)
+		return eb, nil
+	},
+	Access: func(eb *morphstream.EventBlotter, b *morphstream.TxnBuilder) error {
+		t := eb.Params["t"].(transfer)
+		// Debit: from -= amount, aborting on insufficient balance.
+		b.Write(t.From, []morphstream.Key{t.From},
+			func(_ *morphstream.Ctx, src []morphstream.Value) (morphstream.Value, error) {
+				bal := src[0].(int64)
+				if bal < t.Amount {
+					return nil, morphstream.ErrAbort
+				}
+				return bal - t.Amount, nil
+			})
+		// Credit: to += amount, guarded by the same balance check.
+		b.Write(t.To, []morphstream.Key{t.From, t.To},
+			func(_ *morphstream.Ctx, src []morphstream.Value) (morphstream.Value, error) {
+				if src[0].(int64) < t.Amount {
+					return nil, morphstream.ErrAbort
+				}
+				return src[1].(int64) + t.Amount, nil
+			})
+		return nil
+	},
+	Post: func(ev *morphstream.Event, _ *morphstream.EventBlotter, aborted bool) error {
+		t := ev.Data.(transfer)
+		status := "committed"
+		if aborted {
+			status = "ABORTED (insufficient funds)"
+		}
+		fmt.Printf("  %s -> %s: %d  [%s]\n", t.From, t.To, t.Amount, status)
+		return nil
+	},
+}
+
+func main() {
+	eng := morphstream.New(morphstream.Config{Threads: 4, Cleanup: true})
+	eng.Table().Preload("alice", int64(100))
+	eng.Table().Preload("bob", int64(50))
+	eng.Table().Preload("carol", int64(0))
+
+	events := []transfer{
+		{"alice", "bob", 30},
+		{"bob", "carol", 60},
+		{"alice", "carol", 40},
+		{"carol", "alice", 1000}, // insufficient -> aborts
+		{"bob", "alice", 20},
+	}
+	fmt.Println("submitting", len(events), "transfers:")
+	for _, t := range events {
+		if err := eng.Submit(transferOp, &morphstream.Event{Data: t}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The punctuation triggers the three-stage paradigm: the TPG is
+	// refined, the decision model picks a strategy, and the batch executes.
+	res := eng.Punctuate()
+	fmt.Printf("\nbatch: %d committed, %d aborted, decision %v\n",
+		res.Committed, res.Aborted, res.Decisions[0])
+
+	for _, k := range []morphstream.Key{"alice", "bob", "carol"} {
+		v, _ := eng.Table().Latest(k)
+		fmt.Printf("  balance %-6s = %d\n", k, v)
+	}
+}

@@ -1,0 +1,33 @@
+// Package baseline defines the common harness interface implemented by the
+// comparison systems of the paper's evaluation: S-Store (partitioned serial
+// execution), TStream (operation chains with whole-batch redo), and a
+// conventional SPE backed by a simulated remote store ("Flink+Redis").
+//
+// Every baseline interprets the same system-neutral workload specs
+// (internal/workload) through the same canonical Eval, so throughput and
+// correctness comparisons measure scheduling and execution strategy — not
+// differing application logic.
+package baseline
+
+import (
+	"morphstream/internal/metrics"
+	"morphstream/internal/workload"
+)
+
+// Result summarises one batch run by a baseline.
+type Result struct {
+	Committed int
+	Aborted   int
+	// Attempts counts whole-batch (re)executions (TStream redo).
+	Attempts int
+	// FinalState snapshots the latest value of every key, for correctness
+	// checks against the serial oracle.
+	FinalState map[workload.Key]int64
+}
+
+// System is a transactional (or pseudo-transactional) engine under test.
+type System interface {
+	Name() string
+	// Run executes one batch with the given thread count. bd may be nil.
+	Run(b *workload.Batch, threads int, bd *metrics.Breakdown) Result
+}

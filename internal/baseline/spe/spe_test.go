@@ -1,0 +1,101 @@
+package spe
+
+import (
+	"testing"
+	"time"
+
+	"morphstream/internal/metrics"
+	"morphstream/internal/workload"
+)
+
+func depositBatch(n int) *workload.Batch {
+	b := &workload.Batch{State: map[workload.Key]int64{"k": 0}}
+	for i := 1; i <= n; i++ {
+		b.Specs = append(b.Specs, workload.TxnSpec{
+			ID: int64(i), TS: uint64(i),
+			Ops: []workload.OpSpec{{
+				Fn: workload.FnDeposit, Key: "k", Srcs: []workload.Key{"k"}, Amount: 1,
+			}},
+		})
+	}
+	return b
+}
+
+func TestLocksPreserveReadModifyWrite(t *testing.T) {
+	e := New(true)
+	e.RTT = 0
+	res := e.Run(depositBatch(500), 8, nil)
+	if res.FinalState["k"] != 500 {
+		t.Fatalf("k = %d; want 500 (locked RMW lost updates)", res.FinalState["k"])
+	}
+	if res.Committed != 500 || res.Aborted != 0 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestRTTInjectionSlowsExecution(t *testing.T) {
+	fast := New(false)
+	fast.RTT = 0
+	slow := New(false)
+	slow.RTT = 200 * time.Microsecond
+
+	b := depositBatch(100)
+	start := time.Now()
+	fast.Run(b, 1, nil)
+	fastElapsed := time.Since(start)
+
+	start = time.Now()
+	slow.Run(b, 1, nil)
+	slowElapsed := time.Since(start)
+
+	// 100 events x (2 reads + 1 write) x 200us >= 60ms; the fast run is
+	// well under that.
+	if slowElapsed < 10*fastElapsed {
+		t.Fatalf("RTT injection ineffective: fast=%v slow=%v", fastElapsed, slowElapsed)
+	}
+}
+
+func TestLockTimeRecorded(t *testing.T) {
+	e := New(true)
+	e.RTT = 10 * time.Microsecond
+	bd := &metrics.Breakdown{}
+	e.Run(depositBatch(100), 4, bd)
+	if bd.Get(metrics.Lock) == 0 {
+		t.Error("Lock bucket empty in w/-locks mode")
+	}
+	if bd.Get(metrics.Useful) == 0 {
+		t.Error("Useful bucket empty")
+	}
+}
+
+func TestForcedAbortsCounted(t *testing.T) {
+	b := depositBatch(10)
+	b.Specs[4].Ops[0].Forced = true
+	e := New(true)
+	e.RTT = 0
+	res := e.Run(b, 2, nil)
+	if res.Aborted != 1 || res.Committed != 9 {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.FinalState["k"] != 9 {
+		t.Fatalf("k = %d; want 9", res.FinalState["k"])
+	}
+}
+
+func TestWindowOpsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("window op did not panic in SPE baseline")
+		}
+	}()
+	b := &workload.Batch{
+		State: map[workload.Key]int64{"k": 0},
+		Specs: []workload.TxnSpec{{
+			ID: 1, TS: 1,
+			Ops: []workload.OpSpec{{Fn: workload.FnWindowSum, Key: "k", Srcs: []workload.Key{"k"}, Window: 5}},
+		}},
+	}
+	e := New(false)
+	e.RTT = 0
+	e.Run(b, 1, nil)
+}

@@ -1,0 +1,89 @@
+package sstore
+
+import (
+	"testing"
+
+	"morphstream/internal/metrics"
+	"morphstream/internal/workload"
+)
+
+// batch builds a small deterministic SL batch.
+func batch(seed int64, txns int) *workload.Batch {
+	c := workload.DefaultSL()
+	c.Txns = txns
+	c.StateSize = 16
+	c.ComplexityUS = 0
+	c.AbortRatio = 0.1
+	c.Seed = seed
+	c.InitialBalance = 1 << 40
+	return workload.SL(c)
+}
+
+func TestDeterministicAcrossPartitionCounts(t *testing.T) {
+	b := batch(3, 200)
+	var want map[workload.Key]int64
+	for _, parts := range []int{1, 2, 4, 8} {
+		e := New()
+		e.Partitions = parts
+		res := e.Run(b, parts, nil)
+		if want == nil {
+			want = res.FinalState
+			continue
+		}
+		for k, v := range want {
+			if res.FinalState[k] != v {
+				t.Fatalf("partitions=%d: %s = %d; want %d", parts, k, res.FinalState[k], v)
+			}
+		}
+	}
+}
+
+func TestAbortedTxnLeavesNoTrace(t *testing.T) {
+	// A single forced-abort transfer must not touch either account.
+	b := &workload.Batch{
+		State: map[workload.Key]int64{"a": 10, "b": 20},
+		Specs: []workload.TxnSpec{{
+			ID: 1, TS: 1,
+			Ops: []workload.OpSpec{
+				{Fn: workload.FnTransferDebit, Key: "a", Srcs: []workload.Key{"a"}, Amount: 5},
+				{Fn: workload.FnTransferCredit, Key: "b", Srcs: []workload.Key{"a", "b"}, Amount: 5, Forced: true},
+			},
+		}},
+	}
+	res := New().Run(b, 2, nil)
+	if res.Aborted != 1 || res.Committed != 0 {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.FinalState["a"] != 10 || res.FinalState["b"] != 20 {
+		t.Fatalf("state mutated by aborted txn: %v", res.FinalState)
+	}
+}
+
+func TestLockTimeRecorded(t *testing.T) {
+	bd := &metrics.Breakdown{}
+	New().Run(batch(5, 300), 4, bd)
+	if bd.Get(metrics.Useful) == 0 {
+		t.Error("Useful bucket empty")
+	}
+	// Rendezvous waiting is S-Store's defining overhead; the Lock bucket
+	// must be populated under multi-partition contention.
+	if bd.Get(metrics.Lock) == 0 {
+		t.Error("Lock bucket empty despite cross-partition transactions")
+	}
+}
+
+func TestWindowOpsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("window op did not panic in single-version baseline")
+		}
+	}()
+	b := &workload.Batch{
+		State: map[workload.Key]int64{"k": 0},
+		Specs: []workload.TxnSpec{{
+			ID: 1, TS: 1,
+			Ops: []workload.OpSpec{{Fn: workload.FnWindowSum, Key: "k", Srcs: []workload.Key{"k"}, Window: 5}},
+		}},
+	}
+	New().Run(b, 1, nil)
+}

@@ -1,0 +1,291 @@
+// Package tstream reimplements the TStream baseline (paper Section 2.2):
+// state transactions are decomposed into atomic operations, assembled into
+// timestamp-sorted per-key operation chains, and chains execute in parallel.
+// Parametric dependencies between chains are resolved by busy waiting
+// ("random blocking"), logical dependencies are ignored during execution,
+// and aborts are handled only after the whole batch is processed — by
+// redoing the entire batch without the aborted transactions, the costly
+// rollback that Fig. 16a's Abort bar shows.
+package tstream
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"morphstream/internal/baseline"
+	"morphstream/internal/metrics"
+	"morphstream/internal/store"
+	"morphstream/internal/workload"
+)
+
+// Engine is a TStream-style operation-chain executor.
+type Engine struct {
+	// MaxAttempts bounds whole-batch redo rounds (safety valve).
+	MaxAttempts int
+
+	// finalTable holds the last attempt's state for the result snapshot.
+	finalTable *store.Table
+}
+
+// New returns a TStream baseline instance.
+func New() *Engine { return &Engine{MaxAttempts: 10} }
+
+// Name implements baseline.System.
+func (e *Engine) Name() string { return "TStream" }
+
+// chainOp is one operation slot in a per-key chain.
+type chainOp struct {
+	txn int // index into specs
+	op  int // index into specs[txn].Ops
+	ts  uint64
+}
+
+// Run implements baseline.System.
+func (e *Engine) Run(b *workload.Batch, threads int, bd *metrics.Breakdown) baseline.Result {
+	if threads < 1 {
+		threads = 1
+	}
+	maxAttempts := e.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 10
+	}
+
+	specs := make([]workload.TxnSpec, len(b.Specs))
+	copy(specs, b.Specs)
+	sort.Slice(specs, func(i, j int) bool { return specs[i].TS < specs[j].TS })
+
+	excluded := make([]bool, len(specs)) // aborted txns, dropped on redo
+	var res baseline.Result
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		res.Attempts = attempt
+		failed := e.runOnce(specs, excluded, b, threads, bd)
+		if len(failed) == 0 {
+			break
+		}
+		// Lazy abort handling: exclude the failed transactions and redo
+		// the entire batch from the initial state.
+		sw := metrics.Start()
+		for _, i := range failed {
+			excluded[i] = true
+		}
+		sw.Stop(bd, metrics.Abort)
+	}
+
+	// Final pass state: rebuild once more for the snapshot (the last
+	// attempt's table is authoritative; runOnce returns it via closure).
+	table := e.finalTable
+	res.FinalState = make(map[workload.Key]int64, table.Len())
+	for k, v := range table.Snapshot() {
+		res.FinalState[k] = v.(int64)
+	}
+	for _, ex := range excluded {
+		if ex {
+			res.Aborted++
+		}
+	}
+	res.Committed = len(specs) - res.Aborted
+	return res
+}
+
+// runOnce executes one full-batch attempt and returns the indexes of
+// transactions that failed.
+func (e *Engine) runOnce(specs []workload.TxnSpec, excluded []bool, b *workload.Batch, threads int, bd *metrics.Breakdown) []int {
+	table := store.NewTable()
+	for k, v := range b.State {
+		table.Preload(k, v)
+	}
+	e.finalTable = table
+
+	// Construct operation chains: per-key, timestamp-sorted lists of the
+	// operations targeting that key (TStream's auxiliary structure; its
+	// construction cost shows up in Fig. 16a's Construct bar).
+	sw := metrics.Start()
+	chains := make(map[workload.Key][]chainOp)
+	for i, s := range specs {
+		if excluded[i] {
+			continue
+		}
+		for j, op := range s.Ops {
+			key := op.Key
+			if op.ND {
+				// TStream must track a non-deterministic access across
+				// all operation chains; the resolved key is only known
+				// at execution time. We resolve it here for placement
+				// but pay a global progress barrier at execution.
+				key = workload.NDKeyOf(s.TS, op.NDSpace)
+			}
+			chains[key] = append(chains[key], chainOp{txn: i, op: j, ts: s.TS})
+		}
+	}
+	keys := make([]workload.Key, 0, len(chains))
+	for k := range chains {
+		sort.Slice(chains[k], func(a, c int) bool { return chains[k][a].ts < chains[k][c].ts })
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	// progress[k] = number of executed ops in k's chain; cross-chain reads
+	// busy-wait on source-chain progress.
+	progress := make(map[workload.Key]*atomic.Int64, len(chains))
+	for _, k := range keys {
+		progress[k] = &atomic.Int64{}
+	}
+	// waitIndex(k, ts): ops of k's chain that must complete before a read
+	// of k at ts (all ops with smaller timestamp).
+	waitIndex := func(k workload.Key, ts uint64) int {
+		c := chains[k]
+		return sort.Search(len(c), func(i int) bool { return c[i].ts >= ts })
+	}
+	sw.Stop(bd, metrics.Construct)
+
+	var (
+		failedMu sync.Mutex
+		failed   []int
+		aborted  = make([]atomic.Bool, len(specs))
+	)
+
+	cursor := make([]int, len(keys))
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			// Cooperative pass loop over this worker's chains: execute
+			// every op whose dependencies are resolved, spin otherwise.
+			myKeys := make([]int, 0)
+			for i := t; i < len(keys); i += threads {
+				myKeys = append(myKeys, i)
+			}
+			for {
+				progressed, done := false, true
+				for _, ki := range myKeys {
+					k := keys[ki]
+					chain := chains[k]
+					for cursor[ki] < len(chain) {
+						co := chain[cursor[ki]]
+						s := specs[co.txn]
+						op := s.Ops[co.op]
+						if !e.srcsReady(op, s.TS, chains, progress, waitIndex) {
+							break // busy-wait: revisit on the next pass
+						}
+						e.execOp(co, specs, table, &aborted[co.txn], bd)
+						progress[k].Add(1)
+						cursor[ki]++
+						progressed = true
+					}
+					if cursor[ki] < len(chain) {
+						done = false
+					}
+				}
+				if done {
+					return
+				}
+				if !progressed {
+					// Random blocking on unresolved parametric deps.
+					sw := metrics.Start()
+					runtime.Gosched()
+					sw.Stop(bd, metrics.Sync)
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+
+	for i := range specs {
+		if aborted[i].Load() && !excluded[i] {
+			failedMu.Lock()
+			failed = append(failed, i)
+			failedMu.Unlock()
+		}
+	}
+	return failed
+}
+
+// srcsReady reports whether every source chain has progressed past the
+// reader's timestamp; a non-deterministic op additionally waits for every
+// chain (it could target any state), TStream's ND penalty in Fig. 15.
+func (e *Engine) srcsReady(op workload.OpSpec, ts uint64,
+	chains map[workload.Key][]chainOp, progress map[workload.Key]*atomic.Int64,
+	waitIndex func(workload.Key, uint64) int) bool {
+
+	if op.ND {
+		for k := range chains {
+			if int(progress[k].Load()) < waitIndex(k, ts) {
+				return false
+			}
+		}
+	}
+	for _, src := range op.Srcs {
+		if _, ok := chains[src]; !ok {
+			continue // no writes to this source in the batch
+		}
+		if int(progress[src].Load()) < waitIndex(src, ts) {
+			return false
+		}
+	}
+	return true
+}
+
+// execOp runs one operation; failures mark the transaction aborted but
+// execution continues (logical dependencies are ignored until batch end).
+func (e *Engine) execOp(co chainOp, specs []workload.TxnSpec, table *store.Table,
+	abortFlag *atomic.Bool, bd *metrics.Breakdown) {
+
+	sw := metrics.Start()
+	defer sw.Stop(bd, metrics.Useful)
+
+	s := specs[co.txn]
+	op := s.Ops[co.op]
+	if abortFlag.Load() {
+		return // a sibling already failed; skip wasted work when detected
+	}
+	key := op.Key
+	if op.ND {
+		key = workload.NDKeyOf(s.TS, op.NDSpace)
+	}
+	if op.Fn == workload.FnWindowSum {
+		lo := uint64(0)
+		if s.TS > op.Window {
+			lo = s.TS - op.Window
+		}
+		src := make([][]store.Version, len(op.Srcs))
+		for i, k := range op.Srcs {
+			src[i] = table.ReadRange(k, lo, s.TS)
+		}
+		if _, ok := workload.EvalWindow(op, src); !ok {
+			abortFlag.Store(true)
+		}
+		return
+	}
+	src := make([]int64, len(op.Srcs))
+	for i, k := range op.Srcs {
+		v, ok := table.Read(k, s.TS)
+		if !ok {
+			abortFlag.Store(true)
+			return
+		}
+		src[i] = v.(int64)
+	}
+	if op.Fn == workload.FnRead {
+		if len(src) == 0 {
+			if v, ok := table.Read(key, s.TS); ok {
+				src = []int64{v.(int64)}
+			} else {
+				abortFlag.Store(true)
+				return
+			}
+		}
+		if _, ok := workload.Eval(op, src); !ok {
+			abortFlag.Store(true)
+		}
+		return
+	}
+	v, ok := workload.Eval(op, src)
+	if !ok {
+		abortFlag.Store(true)
+		return
+	}
+	table.Write(key, s.TS, v)
+}

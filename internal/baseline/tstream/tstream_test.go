@@ -1,0 +1,91 @@
+package tstream
+
+import (
+	"testing"
+
+	"morphstream/internal/metrics"
+	"morphstream/internal/workload"
+)
+
+func TestWholeBatchRedoCountsAttempts(t *testing.T) {
+	// Three txns on one key; the middle one carries a forced failure:
+	// attempt 1 detects it, attempt 2 redoes without it.
+	b := &workload.Batch{State: map[workload.Key]int64{"k": 0}}
+	for i := 1; i <= 3; i++ {
+		b.Specs = append(b.Specs, workload.TxnSpec{
+			ID: int64(i), TS: uint64(i),
+			Ops: []workload.OpSpec{{
+				Fn: workload.FnDeposit, Key: "k", Srcs: []workload.Key{"k"},
+				Amount: 10, Forced: i == 2,
+			}},
+		})
+	}
+	res := New().Run(b, 2, nil)
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d; want 2", res.Attempts)
+	}
+	if res.Aborted != 1 || res.Committed != 2 {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.FinalState["k"] != 20 {
+		t.Fatalf("k = %d; want 20", res.FinalState["k"])
+	}
+}
+
+func TestMaxAttemptsBoundsRedo(t *testing.T) {
+	// A transfer chain where failures reveal themselves one per attempt:
+	// txn i transfers from an account funded only by txn i-1. MaxAttempts
+	// must bound the redo loop regardless.
+	c := workload.DefaultSL()
+	c.Txns = 50
+	c.StateSize = 8
+	c.ComplexityUS = 0
+	c.AbortRatio = 0.3
+	c.Seed = 9
+	c.InitialBalance = 1 // nearly everything fails
+	b := workload.SL(c)
+
+	e := New()
+	e.MaxAttempts = 3
+	res := e.Run(b, 2, nil)
+	if res.Attempts > 3 {
+		t.Fatalf("attempts = %d; want <= 3", res.Attempts)
+	}
+}
+
+func TestSyncTimeRecordedOnParametricWaits(t *testing.T) {
+	// Cross-key parametric chains with a single worker force busy waits.
+	c := workload.DefaultGS()
+	c.Txns = 500
+	c.StateSize = 64
+	c.ComplexityUS = 0
+	c.AbortRatio = 0
+	c.MultiRatio = 1
+	c.Seed = 4
+	b := workload.GS(c)
+
+	bd := &metrics.Breakdown{}
+	res := New().Run(b, 4, bd)
+	if res.Aborted != 0 {
+		t.Fatalf("aborts: %+v", res)
+	}
+	if bd.Get(metrics.Useful) == 0 {
+		t.Error("Useful bucket empty")
+	}
+	if bd.Get(metrics.Construct) == 0 {
+		t.Error("Construct bucket empty despite chain building")
+	}
+}
+
+func TestCleanBatchSingleAttempt(t *testing.T) {
+	c := workload.DefaultGS()
+	c.Txns = 100
+	c.StateSize = 32
+	c.ComplexityUS = 0
+	c.AbortRatio = 0
+	c.Seed = 2
+	res := New().Run(workload.GS(c), 2, nil)
+	if res.Attempts != 1 || res.Aborted != 0 || res.Committed != 100 {
+		t.Fatalf("result: %+v", res)
+	}
+}

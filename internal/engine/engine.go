@@ -1,0 +1,334 @@
+// Package engine wires MorphStream's five architectural components together
+// (paper Section 7.2, Fig. 10): the singleton ProgressController and the
+// StreamManager, TxnManager, TxnScheduler and TxnExecutor stages. It drives
+// the punctuation-separated dual-mode processing loop of Algorithm 1/4:
+// between punctuations, input events are pre-processed and their state
+// transactions planned into a TPG; at a punctuation, the TPG is refined,
+// scheduled by the decision model, executed, and the cached events are
+// post-processed with the state-access results.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"morphstream/internal/exec"
+	"morphstream/internal/metrics"
+	"morphstream/internal/sched"
+	"morphstream/internal/store"
+	"morphstream/internal/tpg"
+	"morphstream/internal/txn"
+)
+
+// Event is one input tuple. Data carries the application payload consumed
+// by the operator's PreProcess; Arrival timestamps end-to-end latency.
+type Event struct {
+	Data    any
+	Arrival time.Time
+}
+
+// Operator is the three-step programming model of paper Section 7.1
+// (Table 4): PreProcess extracts parameters into an EventBlotter,
+// StateAccess composes the state transaction from system-provided APIs, and
+// PostProcess consumes the state-access results once the transaction has
+// been processed.
+type Operator interface {
+	// PreProcess parses an input event, returning the blotter parameters
+	// (e.g. read/write sets). Returning an error drops the event.
+	PreProcess(ev *Event) (*txn.EventBlotter, error)
+	// StateAccess issues the transaction's operations through the Builder.
+	StateAccess(eb *txn.EventBlotter, b *txn.Builder) error
+	// PostProcess runs after the transaction commits or aborts; aborted
+	// transactions are flagged so users can resubmit (Section 7.1).
+	PostProcess(ev *Event, eb *txn.EventBlotter, aborted bool) error
+}
+
+// Config parameterises an Engine.
+type Config struct {
+	// Threads is the number of executor threads.
+	Threads int
+	// Strategy pins a scheduling decision; nil enables the adaptive
+	// decision model (Fig. 7).
+	Strategy *sched.Decision
+	// GroupFn tags each transaction with a scheduling group for nested
+	// (per-group) strategies; nil puts everything in group 0. Groups must
+	// touch disjoint key sets, as in the paper's TP experiment.
+	GroupFn func(data any) int
+	// GroupStrategies optionally pins decisions per group; groups without
+	// an entry use Strategy or the decision model.
+	GroupStrategies map[int]sched.Decision
+	// Cleanup truncates the multi-version table and discards the TPG after
+	// every punctuation (Section 8.3.3); disable to reproduce Fig. 16b.
+	Cleanup bool
+}
+
+// BatchResult reports one punctuation's processing.
+type BatchResult struct {
+	exec.Result
+	// Decisions records the scheduling decision per group.
+	Decisions map[int]sched.Decision
+	// Props are the merged TPG properties of the batch.
+	Props tpg.Props
+	// Events is the number of input events in the batch.
+	Events int
+	// Elapsed is the wall-clock time of the transaction processing phase.
+	Elapsed time.Duration
+}
+
+// progressController assigns monotonically increasing timestamps to events
+// and punctuations through a simple global counter (Section 7.2.1).
+type progressController struct {
+	mu   sync.Mutex
+	next uint64
+}
+
+func (pc *progressController) nextTS() uint64 {
+	pc.mu.Lock()
+	pc.next++
+	ts := pc.next
+	pc.mu.Unlock()
+	return ts
+}
+
+// cachedEvent pairs an event with its blotter while its state access is
+// postponed (dual-mode of Algorithm 1).
+type cachedEvent struct {
+	ev *Event
+	eb *txn.EventBlotter
+	t  *txn.Transaction
+	op Operator
+}
+
+// group is the per-scheduling-group planning state.
+type group struct {
+	builder *tpg.Builder
+	txns    int
+}
+
+// Engine is a MorphStream instance.
+type Engine struct {
+	cfg   Config
+	table *store.Table
+	pc    progressController
+
+	// StreamManager state: cached events awaiting post-processing.
+	cache   []cachedEvent
+	latency *metrics.LatencyRecorder
+
+	// TxnManager state: one TPG builder per scheduling group.
+	groups map[int]*group
+	txnSeq int64
+
+	// TxnScheduler state: profiled workload characteristics feeding the
+	// decision model.
+	lastAbortRatio float64
+	lastComplexity time.Duration
+
+	// Breakdown accumulates the time breakdown across batches.
+	Breakdown *metrics.Breakdown
+
+	batches int
+}
+
+// New creates an engine over a fresh state table.
+func New(cfg Config) *Engine {
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	return &Engine{
+		cfg:            cfg,
+		table:          store.NewTable(),
+		latency:        metrics.NewLatencyRecorder(),
+		groups:         make(map[int]*group),
+		lastComplexity: 10 * time.Microsecond,
+		Breakdown:      &metrics.Breakdown{},
+	}
+}
+
+// Table exposes the shared state table for preloading.
+func (e *Engine) Table() *store.Table { return e.table }
+
+// Latency exposes the end-to-end latency recorder.
+func (e *Engine) Latency() *metrics.LatencyRecorder { return e.latency }
+
+// Batches reports how many punctuations have been processed.
+func (e *Engine) Batches() int { return e.batches }
+
+func (e *Engine) groupOf(id int) *group {
+	g := e.groups[id]
+	if g == nil {
+		g = &group{builder: tpg.NewBuilder(e.table.Keys)}
+		e.groups[id] = g
+	}
+	return g
+}
+
+// Submit runs the stream processing phase for one input event: PreProcess,
+// StateAccess (planning the transaction into the TPG), and caching the
+// event for post-processing at the next punctuation. Events are processed
+// in arrival order; out-of-order *timestamps* are exercised through the
+// planner's sorted lists.
+func (e *Engine) Submit(op Operator, ev *Event) error {
+	if ev.Arrival.IsZero() {
+		ev.Arrival = time.Now()
+	}
+	eb, err := op.PreProcess(ev)
+	if err != nil {
+		return fmt.Errorf("engine: preprocess: %w", err)
+	}
+	ts := e.pc.nextTS()
+	e.txnSeq++
+	t := txn.NewTransaction(e.txnSeq, ts)
+	t.Blotter = eb
+	if e.cfg.GroupFn != nil {
+		t.Group = e.cfg.GroupFn(ev.Data)
+	}
+	if err := op.StateAccess(eb, txn.Build(t)); err != nil {
+		return fmt.Errorf("engine: state access: %w", err)
+	}
+
+	sw := metrics.Start()
+	g := e.groupOf(t.Group)
+	g.builder.AddTxn(t)
+	g.txns++
+	sw.Stop(e.Breakdown, metrics.Construct)
+
+	e.cache = append(e.cache, cachedEvent{ev: ev, eb: eb, t: t, op: op})
+	return nil
+}
+
+// Punctuate ends the current batch: it refines each group's TPG, makes the
+// scheduling decisions, executes all groups concurrently, post-processes
+// the cached events, and (optionally) cleans temporal objects up.
+func (e *Engine) Punctuate() *BatchResult {
+	start := time.Now()
+	res := &BatchResult{Decisions: make(map[int]sched.Decision)}
+	res.Events = len(e.cache)
+
+	type job struct {
+		id       int
+		graph    *tpg.Graph
+		decision sched.Decision
+	}
+	var jobs []job
+	for id, g := range e.groups {
+		if g.txns == 0 {
+			continue
+		}
+		sw := metrics.Start()
+		graph := g.builder.Finalize(e.cfg.Threads)
+		sw.Stop(e.Breakdown, metrics.Construct)
+
+		d, props := e.decide(id, graph)
+		res.Decisions[id] = d
+		res.Props = mergeProps(res.Props, props)
+		jobs = append(jobs, job{id: id, graph: graph, decision: d})
+	}
+
+	// Execute all groups concurrently, splitting threads between them
+	// (nested scheduling, Section 8.2.3).
+	threads := e.cfg.Threads
+	if len(jobs) > 1 {
+		threads = e.cfg.Threads / len(jobs)
+		if threads < 1 {
+			threads = 1
+		}
+	}
+	results := make([]exec.Result, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			results[i] = exec.Run(j.graph, exec.Config{
+				Decision:  j.decision,
+				Threads:   threads,
+				Table:     e.table,
+				Breakdown: e.Breakdown,
+			})
+		}(i, j)
+	}
+	wg.Wait()
+
+	for _, r := range results {
+		res.Committed += r.Committed
+		res.Aborted += r.Aborted
+		res.AbortRounds += r.AbortRounds
+		res.Redos += r.Redos
+		res.OpsExecuted += r.OpsExecuted
+	}
+
+	// Post-processing of cached events (mode switch back, Algorithm 1).
+	now := time.Now()
+	for _, ce := range e.cache {
+		_ = ce.op.PostProcess(ce.ev, ce.eb, ce.t.Aborted())
+		e.latency.Record(now.Sub(ce.ev.Arrival))
+	}
+
+	// Profile workload characteristics for the next batch's decisions.
+	if total := res.Committed + res.Aborted; total > 0 {
+		e.lastAbortRatio = float64(res.Aborted) / float64(total)
+	}
+	if res.OpsExecuted > 0 {
+		if useful := e.Breakdown.Get(metrics.Useful); useful > 0 {
+			e.lastComplexity = useful / time.Duration(res.OpsExecuted)
+		}
+	}
+
+	// Clean-up of temporal objects (Section 8.3.3).
+	e.cache = e.cache[:0]
+	e.groups = make(map[int]*group)
+	if e.cfg.Cleanup {
+		e.table.Truncate(^uint64(0))
+	}
+
+	e.batches++
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// decide picks the scheduling decision for one group: pinned per-group
+// strategy, then pinned engine strategy, then the heuristic decision model.
+func (e *Engine) decide(id int, graph *tpg.Graph) (sched.Decision, tpg.Props) {
+	props := graph.Props
+	if d, ok := e.cfg.GroupStrategies[id]; ok {
+		return d, props
+	}
+	if e.cfg.Strategy != nil {
+		return *e.cfg.Strategy, props
+	}
+	in := sched.ModelInputs{
+		Props:      props,
+		Complexity: e.lastComplexity,
+		AbortRatio: e.lastAbortRatio,
+	}
+	// Cyclicity is only relevant if the model would otherwise choose
+	// coarse units; probe it with a throwaway unit build.
+	if !in.Cyclic {
+		td, pd := float64(props.NumTD), float64(props.NumPD)
+		ops := float64(props.NumOps)
+		if ops > 0 && td/ops >= sched.HighTDPerOp && pd/ops <= sched.LowPDPerOp {
+			_, cyclic := sched.BuildUnits(graph, sched.CSchedule)
+			in.Cyclic = cyclic
+		}
+	}
+	return sched.Decide(in), props
+}
+
+func mergeProps(a, b tpg.Props) tpg.Props {
+	a.NumTxns += b.NumTxns
+	a.NumOps += b.NumOps
+	a.NumLD += b.NumLD
+	a.NumTD += b.NumTD
+	a.NumPD += b.NumPD
+	a.NumND += b.NumND
+	a.NumWindow += b.NumWindow
+	if b.DegreeSkew > a.DegreeSkew {
+		a.DegreeSkew = b.DegreeSkew
+	}
+	if b.MultiAccessRatio > a.MultiAccessRatio {
+		a.MultiAccessRatio = b.MultiAccessRatio
+	}
+	return a
+}

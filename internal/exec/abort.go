@@ -1,0 +1,162 @@
+package exec
+
+import (
+	"sort"
+
+	"morphstream/internal/sched"
+	"morphstream/internal/txn"
+)
+
+// handleAborts finalises the abort of every transaction in failed, rolls
+// back their state-table footprint, and resets the downstream closure of
+// affected operations so they re-execute against clean state (paper
+// Section 6.3.2). The caller must hold the write gate: no operation is in
+// flight while this runs.
+//
+// Abort decisions are final, as in the paper's S-TPG: an aborted
+// transaction never re-executes. Resets happen at transaction granularity —
+// once any operation of a committed-so-far transaction must redo, the whole
+// transaction redoes (its blotter restarts clean), which is a conservative
+// superset of the paper's per-operation rollback.
+func (ex *executor) handleAborts(failed []*txn.Operation) {
+	ex.abortRounds++
+
+	abortTxns := make(map[*txn.Transaction]bool)
+	for _, op := range failed {
+		abortTxns[op.Txn] = true
+	}
+
+	// Structural closure over TD/PD edges. Traversal continues through
+	// already-aborted transactions (their operations wrote nothing, but
+	// their dependents may have read state that is about to roll back).
+	visited := make(map[*txn.Transaction]bool, len(abortTxns))
+	resetTxns := make(map[*txn.Transaction]bool)
+	var worklist []*txn.Transaction
+	for t := range abortTxns {
+		visited[t] = true
+		worklist = append(worklist, t)
+	}
+	for len(worklist) > 0 {
+		t := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		for _, op := range t.Ops {
+			for _, c := range op.Children() {
+				ct := c.Txn
+				if visited[ct] {
+					continue
+				}
+				visited[ct] = true
+				worklist = append(worklist, ct)
+				if !ct.Aborted() {
+					resetTxns[ct] = true
+				}
+			}
+		}
+	}
+
+	// Bridge dependencies around the newly aborted operations: an ABT
+	// vertex settles as a no-op, so the transitive-reduction TD/PD chain
+	// through it would no longer order its neighbours during redo. Every
+	// non-aborted parent is linked directly to every child, in ascending
+	// (ts, id) order so bridges compose across consecutive aborts.
+	var abtOps []*txn.Operation
+	for t := range abortTxns {
+		abtOps = append(abtOps, t.Ops...)
+	}
+	sort.Slice(abtOps, func(i, j int) bool {
+		ti, tj := abtOps[i].TS(), abtOps[j].TS()
+		if ti != tj {
+			return ti < tj
+		}
+		return abtOps[i].ID < abtOps[j].ID
+	})
+	for _, o := range abtOps {
+		parents := append([]*txn.Operation(nil), o.Parents()...)
+		children := append([]*txn.Operation(nil), o.Children()...)
+		for _, p := range parents {
+			if p.State() == txn.ABT {
+				continue // p's own bridge already propagated its parents.
+			}
+			for _, c := range children {
+				txn.AddEdge(p, c)
+				if pu, cu := ex.unitOf[p], ex.unitOf[c]; pu != nil && cu != nil {
+					sched.LinkUnits(pu, cu)
+				}
+			}
+		}
+		for _, c := range children {
+			c.DedupEdges()
+		}
+		for _, p := range parents {
+			p.DedupEdges()
+		}
+	}
+
+	// Roll back and settle the aborted transactions (T4): remove every
+	// version they installed and pin their operations at ABT.
+	for t := range abortTxns {
+		for _, op := range t.Ops {
+			if k, ok := op.Written(); ok {
+				ex.cfg.Table.Remove(k, t.TS)
+				op.ClearWritten()
+			}
+			op.SetState(txn.ABT)
+		}
+	}
+
+	// Reset the downstream transactions (T5/T6): remove their versions,
+	// clear their blotters and return their operations to BLK for redo.
+	for t := range resetTxns {
+		t.Blotter.Reset()
+		for _, op := range t.Ops {
+			if k, ok := op.Written(); ok {
+				ex.cfg.Table.Remove(k, t.TS)
+				op.ClearWritten()
+			}
+			if op.State() == txn.EXE {
+				ex.redos.Add(1)
+			}
+			op.SetState(txn.BLK)
+		}
+	}
+
+	ex.rebuild()
+}
+
+// rebuild recomputes the runtime scheduling state — unit completion flags,
+// pending counters, and (under ns-explore) the ready queue — after an abort
+// round mutated operation states. The caller holds the write gate.
+func (ex *executor) rebuild() {
+	ex.epoch.Add(1)
+	settled := 0
+	for i, u := range ex.units {
+		done := u.Done()
+		ex.completed[i].Store(done)
+		if done {
+			settled++
+		}
+	}
+	ex.settled.Store(int64(settled))
+	for _, u := range ex.units {
+		pending := 0
+		for _, p := range u.Parents() {
+			if !ex.completed[p.ID].Load() {
+				pending++
+			}
+		}
+		u.Pending.Store(int32(pending))
+	}
+	if ex.queue != nil {
+		ex.queue.reset()
+		for i, u := range ex.units {
+			ready := !ex.completed[i].Load() && u.Pending.Load() == 0
+			u.Claimed.Store(ready)
+			if ready {
+				ex.queue.push(u)
+			}
+		}
+		if settled == len(ex.units) {
+			ex.queue.close()
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package exec
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"morphstream/internal/metrics"
+	"morphstream/internal/sched"
+	"morphstream/internal/store"
+	"morphstream/internal/txn"
+)
+
+// TestRedoOrderingThroughAbortedChain is the regression test for the
+// dependency-bridging fix: when an operation in the middle of a TD chain
+// aborts, the chain's transitive reduction loses the ordering between its
+// neighbours, so rollback must bridge the aborted vertex's parents to its
+// children or redos execute against missing versions.
+//
+// Construction: deposits d1..d4 on key k, then a forced-abort transaction
+// f on k, then a reader r of k. Under l-abort, r executes first against
+// f's dirty write; after f's rollback, r must redo only after d4's version
+// is back in place — which only the bridge guarantees.
+func TestRedoOrderingThroughAbortedChain(t *testing.T) {
+	for _, d := range allDecisions() {
+		table := store.NewTable()
+		table.Preload("k", int64(0))
+		table.Preload("out", int64(0))
+
+		var txns []*txn.Transaction
+		ts := uint64(1)
+		// Four committing deposits.
+		for i := 0; i < 4; i++ {
+			tr := txn.NewTransaction(int64(ts), ts)
+			txn.Build(tr).Write("k", []txn.Key{"k"}, func(_ *txn.Ctx, src []txn.Value) (txn.Value, error) {
+				return src[0].(int64) + 10, nil
+			})
+			txns = append(txns, tr)
+			ts++
+		}
+		// A multi-op transaction whose second op fails: its first op
+		// writes k, creating a version the reader may consume before the
+		// abort round removes it.
+		f := txn.NewTransaction(int64(ts), ts)
+		fb := txn.Build(f)
+		fb.Write("k", []txn.Key{"k"}, func(_ *txn.Ctx, src []txn.Value) (txn.Value, error) {
+			return src[0].(int64) + 1000, nil
+		})
+		fb.Write("out", nil, func(*txn.Ctx, []txn.Value) (txn.Value, error) {
+			return nil, txn.ErrAbort
+		})
+		txns = append(txns, f)
+		ts++
+		// The downstream reader.
+		r := txn.NewTransaction(int64(ts), ts)
+		txn.Build(r).Write("out", []txn.Key{"k"}, func(_ *txn.Ctx, src []txn.Value) (txn.Value, error) {
+			return src[0], nil
+		})
+		txns = append(txns, r)
+
+		g := buildGraph(txns, table)
+		Run(g, Config{Decision: d, Threads: 2, Table: table})
+
+		out, _ := table.Latest("out")
+		if out.(int64) != 40 {
+			t.Errorf("%v: out = %v; want 40 (redo ran before upstream redos)", d, out)
+		}
+		k, _ := table.Latest("k")
+		if k.(int64) != 40 {
+			t.Errorf("%v: k = %v; want 40", d, k)
+		}
+	}
+}
+
+// TestConsecutiveAbortsBridgeTransitively exercises bridging across runs
+// of adjacent aborted transactions on one key: the surviving reader must
+// still order after the last committed write.
+func TestConsecutiveAbortsBridgeTransitively(t *testing.T) {
+	for _, d := range allDecisions() {
+		table := store.NewTable()
+		table.Preload("k", int64(7))
+		table.Preload("out", int64(0))
+
+		var txns []*txn.Transaction
+		ts := uint64(1)
+		// One committed write.
+		w := txn.NewTransaction(int64(ts), ts)
+		txn.Build(w).Write("k", []txn.Key{"k"}, func(_ *txn.Ctx, src []txn.Value) (txn.Value, error) {
+			return src[0].(int64) * 2, nil
+		})
+		txns = append(txns, w)
+		ts++
+		// Five consecutive forced-abort writes to the same key.
+		for i := 0; i < 5; i++ {
+			f := txn.NewTransaction(int64(ts), ts)
+			txn.Build(f).Write("k", []txn.Key{"k"}, func(_ *txn.Ctx, _ []txn.Value) (txn.Value, error) {
+				return nil, txn.ErrAbort
+			})
+			txns = append(txns, f)
+			ts++
+		}
+		// Reader after the aborted run.
+		r := txn.NewTransaction(int64(ts), ts)
+		txn.Build(r).Write("out", []txn.Key{"k"}, func(_ *txn.Ctx, src []txn.Value) (txn.Value, error) {
+			return src[0], nil
+		})
+		txns = append(txns, r)
+
+		g := buildGraph(txns, table)
+		res := Run(g, Config{Decision: d, Threads: 3, Table: table})
+		if res.Aborted != 5 {
+			t.Errorf("%v: aborted = %d; want 5", d, res.Aborted)
+		}
+		out, _ := table.Latest("out")
+		if out.(int64) != 14 {
+			t.Errorf("%v: out = %v; want 14", d, out)
+		}
+	}
+}
+
+// TestHighAbortRatioStress drives the rollback machinery hard: a hot-key
+// workload where most transactions fail, across all strategies, checked
+// against the serial oracle.
+func TestHighAbortRatioStress(t *testing.T) {
+	w := workloadSpec{keys: 3, txns: 250, seed: 77, abortEvery: 2}
+	wantState, wantAborted, wantRes := runSerialOracle(w)
+	if wantRes.Aborted < 100 {
+		t.Fatalf("oracle aborted only %d; spec broken", wantRes.Aborted)
+	}
+	for _, d := range allDecisions() {
+		txns, table := w.generate()
+		g := buildGraph(txns, table)
+		res := Run(g, Config{Decision: d, Threads: 4, Table: table})
+		if res.Aborted != wantRes.Aborted {
+			t.Errorf("%v: aborted = %d; want %d", d, res.Aborted, wantRes.Aborted)
+		}
+		if !reflect.DeepEqual(abortedIDs(txns), wantAborted) {
+			t.Errorf("%v: abort set diverges", d)
+		}
+		if got := table.Snapshot(); !reflect.DeepEqual(got, wantState) {
+			t.Errorf("%v: state diverges", d)
+		}
+	}
+}
+
+// TestAbortRoundsBounded ensures the fixpoint terminates quickly even on
+// adversarial chains (every other txn failing on one key).
+func TestAbortRoundsBounded(t *testing.T) {
+	table := store.NewTable()
+	table.Preload("k", int64(0))
+	var txns []*txn.Transaction
+	for ts := uint64(1); ts <= 100; ts++ {
+		tr := txn.NewTransaction(int64(ts), ts)
+		fail := ts%2 == 0
+		txn.Build(tr).Write("k", []txn.Key{"k"}, func(_ *txn.Ctx, src []txn.Value) (txn.Value, error) {
+			if fail {
+				return nil, txn.ErrAbort
+			}
+			return src[0].(int64) + 1, nil
+		})
+		txns = append(txns, tr)
+	}
+	g := buildGraph(txns, table)
+	res := Run(g, Config{
+		Decision: sched.Decision{Explore: sched.NSExplore, Abort: sched.LAbort},
+		Threads:  2, Table: table,
+	})
+	if res.Aborted != 50 {
+		t.Fatalf("aborted = %d; want 50", res.Aborted)
+	}
+	if res.AbortRounds > 10 {
+		t.Fatalf("abort rounds = %d; fixpoint not converging", res.AbortRounds)
+	}
+	v, _ := table.Latest("k")
+	if v.(int64) != 50 {
+		t.Fatalf("k = %v; want 50", v)
+	}
+}
+
+// TestBreakdownPopulated checks that instrumented runs fill the buckets
+// the paper's Fig. 16a reports.
+func TestBreakdownPopulated(t *testing.T) {
+	w := workloadSpec{keys: 8, txns: 400, seed: 41, abortEvery: 10}
+	txns, table := w.generate()
+	g := buildGraph(txns, table)
+	bd := &metrics.Breakdown{}
+	Run(g, Config{
+		Decision: sched.Decision{Explore: sched.NSExplore, Abort: sched.LAbort},
+		Threads:  2, Table: table, Breakdown: bd,
+	})
+	if bd.Get(metrics.Useful) == 0 {
+		t.Error("Useful bucket empty")
+	}
+	if bd.Get(metrics.Abort) == 0 {
+		t.Error("Abort bucket empty despite forced failures")
+	}
+	_ = fmt.Sprint(bd)
+}

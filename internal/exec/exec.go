@@ -1,0 +1,337 @@
+// Package exec implements MorphStream's Execution stage (paper Section 6):
+// threads traverse the scheduled units of the S-TPG, execute operations
+// against the multi-versioning state table, and handle aborts by rolling
+// back state and redoing affected downstream operations.
+//
+// The package realises the full 3x2x2 strategy matrix of Section 5:
+// {s-explore(BFS), s-explore(DFS), ns-explore} x {f-, c-schedule} x
+// {e-, l-abort}. A serial oracle (Serial) provides the correctness
+// reference: any strategy must be conflict-equivalent to executing the
+// batch in timestamp order.
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"morphstream/internal/metrics"
+	"morphstream/internal/sched"
+	"morphstream/internal/store"
+	"morphstream/internal/tpg"
+	"morphstream/internal/txn"
+)
+
+// Config parameterises one batch execution.
+type Config struct {
+	Decision sched.Decision
+	// Threads is the number of executor threads (TxnExecutors).
+	Threads int
+	Table   *store.Table
+	// Breakdown, when non-nil, accumulates the time breakdown of
+	// Section 8.3.1 (useful / sync / explore / abort).
+	Breakdown *metrics.Breakdown
+}
+
+// Result summarises one batch execution.
+type Result struct {
+	// Committed and Aborted count state transactions.
+	Committed int
+	Aborted   int
+	// AbortRounds counts invocations of the abort/rollback machinery.
+	AbortRounds int
+	// Redos counts operation re-executions caused by rollback.
+	Redos int
+	// OpsExecuted counts successful operation executions (first runs).
+	OpsExecuted int
+}
+
+// executor carries the runtime state of one batch execution.
+type executor struct {
+	cfg    Config
+	g      *tpg.Graph
+	units  []*sched.Unit
+	unitOf map[*txn.Operation]*sched.Unit
+	strata [][]*sched.Unit
+
+	// completed marks units whose operations are all settled; len == units.
+	completed []atomic.Bool
+	settled   atomic.Int64
+
+	// execGate is read-held around each operation execution; the abort
+	// handler write-holds it so no operation runs while state is mutated.
+	execGate sync.RWMutex
+	// abortMu serialises abort handling (the "coordinator" of e-abort
+	// under non-structured exploration).
+	abortMu sync.Mutex
+	// epoch increments on every abort round; workers abandon stale units.
+	epoch atomic.Int64
+
+	// failed collects operations whose UDF failed, for deferred (l-abort)
+	// or immediate (e-abort) processing.
+	failedMu sync.Mutex
+	failed   []*txn.Operation
+
+	queue *workQueue // ns-explore ready queue
+
+	redos       atomic.Int64
+	execs       atomic.Int64
+	abortRounds int
+}
+
+// Run executes the graph under the given configuration and returns the
+// batch result. It blocks until every operation is settled (EXE or ABT)
+// and all aborts are fully processed.
+func Run(g *tpg.Graph, cfg Config) Result {
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	units, _ := sched.BuildUnits(g, cfg.Decision.Gran)
+	ex := &executor{
+		cfg:       cfg,
+		g:         g,
+		units:     units,
+		unitOf:    make(map[*txn.Operation]*sched.Unit, len(g.Ops)),
+		completed: make([]atomic.Bool, len(units)),
+	}
+	for _, u := range units {
+		for _, op := range u.Ops {
+			ex.unitOf[op] = u
+		}
+	}
+	for _, u := range units {
+		u.Pending.Store(int32(len(u.Parents())))
+		u.Claimed.Store(false)
+	}
+	if cfg.Decision.Explore != sched.NSExplore {
+		sw := metrics.Start()
+		ex.strata = sched.Stratify(units)
+		sw.Stop(cfg.Breakdown, metrics.Explore)
+	}
+
+	switch cfg.Decision.Explore {
+	case sched.SExploreBFS:
+		ex.runBFS()
+	case sched.SExploreDFS:
+		ex.runDFS()
+	case sched.NSExplore:
+		ex.runNS()
+	}
+
+	// Lazy abort handling: fixpoint rounds after full exploration. Eager
+	// handling may also leave residual failures (failures marked while an
+	// abort round was already running), so both modes drain here.
+	for {
+		failed := ex.takeFailed()
+		if len(failed) == 0 {
+			break
+		}
+		sw := metrics.Start()
+		ex.handleAborts(failed)
+		sw.Stop(ex.cfg.Breakdown, metrics.Abort)
+		ex.resume()
+	}
+
+	res := Result{
+		AbortRounds: ex.abortRounds,
+		Redos:       int(ex.redos.Load()),
+		OpsExecuted: int(ex.execs.Load()),
+	}
+	for _, t := range g.Txns {
+		if t.Aborted() {
+			res.Aborted++
+		} else {
+			res.Committed++
+		}
+	}
+	return res
+}
+
+// resume re-runs the exploration loop after a lazy abort round reset some
+// operations.
+func (ex *executor) resume() {
+	switch ex.cfg.Decision.Explore {
+	case sched.SExploreBFS:
+		ex.runBFS()
+	case sched.SExploreDFS:
+		ex.runDFS()
+	case sched.NSExplore:
+		ex.runNS()
+	}
+}
+
+func (ex *executor) takeFailed() []*txn.Operation {
+	ex.failedMu.Lock()
+	out := ex.failed
+	ex.failed = nil
+	ex.failedMu.Unlock()
+	return out
+}
+
+func (ex *executor) recordFailure(op *txn.Operation) {
+	ex.failedMu.Lock()
+	ex.failed = append(ex.failed, op)
+	ex.failedMu.Unlock()
+}
+
+// settledOp reports whether an operation no longer needs execution.
+func settledOp(op *txn.Operation) bool {
+	s := op.State()
+	return s == txn.EXE || s == txn.ABT
+}
+
+// parentsSettled reports whether every dependency of op is EXE or ABT.
+func parentsSettled(op *txn.Operation) bool {
+	for _, p := range op.Parents() {
+		if !settledOp(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// runOp executes a single operation against the state table. It returns
+// false when the operation's UDF failed and the transaction must abort.
+// The caller holds the execution read-gate.
+func (ex *executor) runOp(op *txn.Operation) bool {
+	if op.Txn.Aborted() {
+		// A logical dependent already failed: settle as aborted (LD).
+		op.SetState(txn.ABT)
+		return true
+	}
+	op.CASState(txn.BLK, txn.RDY) // T1
+
+	ctx := &txn.Ctx{TS: op.TS(), Blotter: op.Txn.Blotter}
+	err := ex.apply(op, ctx)
+	if err != nil {
+		op.SetState(txn.ABT) // T4
+		op.Txn.MarkAborted(true)
+		return false
+	}
+	op.SetState(txn.EXE) // T2
+	ex.execs.Add(1)
+	return true
+}
+
+// apply dispatches on the operation kind and performs the state access.
+func (ex *executor) apply(op *txn.Operation, ctx *txn.Ctx) error {
+	t := ex.cfg.Table
+	ts := op.TS()
+	switch op.Kind {
+	case txn.OpRead:
+		v, ok := t.Read(op.Key, ts)
+		if !ok {
+			return txn.ErrAbort
+		}
+		if op.ReadFn != nil {
+			return op.ReadFn(ctx, v)
+		}
+		ctx.Blotter.AddResult(v)
+		return nil
+
+	case txn.OpWrite:
+		src, err := ex.readSrcs(op, ts)
+		if err != nil {
+			return err
+		}
+		var v txn.Value
+		if op.WriteFn != nil {
+			v, err = op.WriteFn(ctx, src)
+			if err != nil {
+				return err
+			}
+		} else if len(src) > 0 {
+			v = src[0]
+		}
+		t.Write(op.Key, ts, v)
+		op.MarkWritten(op.Key)
+		return nil
+
+	case txn.OpWindowRead, txn.OpWindowWrite:
+		lo := uint64(0)
+		if ts > op.Window {
+			lo = ts - op.Window
+		}
+		src := make([][]store.Version, len(op.SrcKeys))
+		for i, k := range op.SrcKeys {
+			src[i] = t.ReadRange(k, lo, ts)
+		}
+		var v txn.Value
+		var err error
+		if op.WindowFn != nil {
+			v, err = op.WindowFn(ctx, src)
+			if err != nil {
+				return err
+			}
+		}
+		if op.Kind == txn.OpWindowWrite {
+			t.Write(op.Key, ts, v)
+			op.MarkWritten(op.Key)
+		} else {
+			ctx.Blotter.AddResult(v)
+		}
+		return nil
+
+	case txn.OpNDRead, txn.OpNDWrite:
+		k, err := op.KeyFn(ctx)
+		if err != nil {
+			return err
+		}
+		// Record the resolved state in the S-TPG for deterministic
+		// rollback (Section 6.5.2).
+		op.SetResolvedKey(k)
+		if op.Kind == txn.OpNDRead {
+			v, ok := t.Read(k, ts)
+			if !ok {
+				return txn.ErrAbort
+			}
+			if op.ReadFn != nil {
+				return op.ReadFn(ctx, v)
+			}
+			ctx.Blotter.AddResult(v)
+			return nil
+		}
+		src, err := ex.readSrcs(op, ts)
+		if err != nil {
+			return err
+		}
+		var v txn.Value
+		if op.WriteFn != nil {
+			v, err = op.WriteFn(ctx, src)
+			if err != nil {
+				return err
+			}
+		}
+		t.Write(k, ts, v)
+		op.MarkWritten(k)
+		return nil
+	}
+	return nil
+}
+
+func (ex *executor) readSrcs(op *txn.Operation, ts uint64) ([]txn.Value, error) {
+	if len(op.SrcKeys) == 0 {
+		return nil, nil
+	}
+	src := make([]txn.Value, len(op.SrcKeys))
+	for i, k := range op.SrcKeys {
+		v, ok := ex.cfg.Table.Read(k, ts)
+		if !ok {
+			return nil, txn.ErrAbort
+		}
+		src[i] = v
+	}
+	return src, nil
+}
+
+// completeUnit marks a unit done once and propagates readiness to children
+// (ns-explore). Returns true when this call transitioned the unit.
+func (ex *executor) completeUnit(u *sched.Unit) bool {
+	if !u.Done() {
+		return false
+	}
+	if ex.completed[u.ID].Swap(true) {
+		return false
+	}
+	ex.settled.Add(1)
+	return true
+}

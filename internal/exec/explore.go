@@ -1,0 +1,324 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"morphstream/internal/metrics"
+	"morphstream/internal/sched"
+	"morphstream/internal/txn"
+)
+
+// runBFS is structured exploration with breadth-first traversal (paper
+// Section 5.1 A): threads concurrently process the units of one stratum and
+// synchronise on a barrier before advancing. Under e-abort, failures are
+// handled at the stratum boundary ("layered fashion", Section 5.3) and
+// execution restarts from the outermost stratum containing reset work.
+func (ex *executor) runBFS() {
+	r := 0
+	for r < len(ex.strata) {
+		stratum := ex.strata[r]
+		if stratumSettled(stratum) {
+			r++
+			continue
+		}
+		ex.parallelStratum(stratum)
+
+		if ex.cfg.Decision.Abort == sched.EAbort {
+			failed := ex.takeFailed()
+			if len(failed) > 0 {
+				ex.abortMu.Lock()
+				ex.execGate.Lock()
+				sw := metrics.Start()
+				ex.handleAborts(failed)
+				sw.Stop(ex.cfg.Breakdown, metrics.Abort)
+				ex.execGate.Unlock()
+				ex.abortMu.Unlock()
+				// Restart from the outermost stratum with unsettled work.
+				r = ex.lowestUnsettledRank()
+				if r < 0 {
+					return
+				}
+				continue
+			}
+		}
+		r++
+	}
+}
+
+func stratumSettled(stratum []*sched.Unit) bool {
+	for _, u := range stratum {
+		if !u.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+func (ex *executor) lowestUnsettledRank() int {
+	for r, stratum := range ex.strata {
+		if !stratumSettled(stratum) {
+			return r
+		}
+	}
+	return -1
+}
+
+// parallelStratum fans the units of one stratum out to the executor
+// threads via an atomic index, then waits on the barrier.
+func (ex *executor) parallelStratum(stratum []*sched.Unit) {
+	threads := ex.cfg.Threads
+	if threads > len(stratum) {
+		threads = len(stratum)
+	}
+	if threads <= 1 {
+		for _, u := range stratum {
+			ex.runUnitOps(u)
+		}
+		return
+	}
+	var idx atomic.Int64
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(idx.Add(1)) - 1
+				if i >= len(stratum) {
+					return
+				}
+				ex.runUnitOps(stratum[i])
+			}
+		}()
+	}
+	sw := metrics.Start()
+	wg.Wait()
+	sw.Stop(ex.cfg.Breakdown, metrics.Sync)
+}
+
+// runUnitOps executes every unsettled operation of a unit in (ts, id)
+// order, ungated: BFS mutates scheduling state only at stratum barriers,
+// so no gate is needed while a stratum runs.
+func (ex *executor) runUnitOps(u *sched.Unit) {
+	for _, op := range u.Ops {
+		if settledOp(op) {
+			continue
+		}
+		sw := metrics.Start()
+		ok := ex.runOp(op)
+		sw.Stop(ex.cfg.Breakdown, metrics.Useful)
+		if !ok {
+			ex.recordFailure(op)
+		}
+	}
+}
+
+// runStatus reports the outcome of a gated execution attempt.
+type runStatus int8
+
+const (
+	// runDone: the operation executed (or was already settled).
+	runDone runStatus = iota
+	// runNotReady: dependencies are unresolved; revisit later (DFS).
+	runNotReady
+	// runAbandon: an abort round rebuilt the runtime state; the caller
+	// must abandon its current unit (ns-explore re-queues it).
+	runAbandon
+)
+
+// gatedRun executes one operation under the read-gate. myEpoch >= 0 enables
+// stale-unit abandonment (ns-explore). Edge lists may be rewritten by the
+// abort handler, so the dependency check happens inside the gate too.
+func (ex *executor) gatedRun(op *txn.Operation, myEpoch int64) runStatus {
+	ex.execGate.RLock()
+	if myEpoch >= 0 && ex.epoch.Load() != myEpoch {
+		ex.execGate.RUnlock()
+		return runAbandon
+	}
+	if settledOp(op) {
+		ex.execGate.RUnlock()
+		return runDone
+	}
+	if !parentsSettled(op) {
+		ex.execGate.RUnlock()
+		if myEpoch >= 0 {
+			return runAbandon
+		}
+		return runNotReady
+	}
+	sw := metrics.Start()
+	ok := ex.runOp(op)
+	sw.Stop(ex.cfg.Breakdown, metrics.Useful)
+	ex.execGate.RUnlock()
+	if !ok {
+		ex.recordFailure(op)
+		if ex.cfg.Decision.Abort == sched.EAbort {
+			ex.eagerAbort()
+		}
+	}
+	return runDone
+}
+
+// eagerAbort is the coordinator path of e-abort under non-structured and
+// DFS exploration: the detecting thread drains the failure set and performs
+// rollback while all other threads are fenced out by the write gate.
+func (ex *executor) eagerAbort() {
+	ex.abortMu.Lock()
+	failed := ex.takeFailed()
+	if len(failed) > 0 {
+		ex.execGate.Lock()
+		sw := metrics.Start()
+		ex.handleAborts(failed)
+		sw.Stop(ex.cfg.Breakdown, metrics.Abort)
+		ex.execGate.Unlock()
+	}
+	ex.abortMu.Unlock()
+}
+
+// runDFS is structured exploration with depth-first traversal (paper
+// Section 5.1 B): units are pre-assigned round-robin; each thread advances
+// through its own units, waiting per-operation until dependencies resolve
+// (speculative scheduling, T3: an operation may be picked while formally
+// BLK and waits for its dependency versions instead of a stratum barrier).
+func (ex *executor) runDFS() {
+	threads := ex.cfg.Threads
+	if threads > len(ex.units) {
+		threads = len(ex.units)
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			ex.dfsWorker(t, threads)
+		}(t)
+	}
+	wg.Wait()
+}
+
+func (ex *executor) dfsWorker(id, threads int) {
+	for {
+		progressed := false
+		for i := id; i < len(ex.units); i += threads {
+			u := ex.units[i]
+			for _, op := range u.Ops {
+				if settledOp(op) {
+					continue
+				}
+				if ex.gatedRun(op, -1) == runDone {
+					progressed = true
+				}
+			}
+		}
+		// Worker 0 doubles as the eager-abort coordinator so failures do
+		// not linger while other threads spin.
+		if id == 0 && ex.cfg.Decision.Abort == sched.EAbort {
+			ex.failedMu.Lock()
+			pending := len(ex.failed) > 0
+			ex.failedMu.Unlock()
+			if pending {
+				ex.eagerAbort()
+				progressed = true
+			}
+		}
+		if ex.dfsFinished() {
+			return
+		}
+		if !progressed {
+			sw := metrics.Start()
+			runtime.Gosched()
+			sw.Stop(ex.cfg.Breakdown, metrics.Explore)
+		}
+	}
+}
+
+// dfsFinished checks, under the read gate, that every unit is settled and —
+// under e-abort — that no failure is pending (a pending failure may reset
+// settled units).
+func (ex *executor) dfsFinished() bool {
+	ex.execGate.RLock()
+	defer ex.execGate.RUnlock()
+	for _, u := range ex.units {
+		if !u.Done() {
+			return false
+		}
+	}
+	if ex.cfg.Decision.Abort == sched.EAbort {
+		ex.failedMu.Lock()
+		pending := len(ex.failed) > 0
+		ex.failedMu.Unlock()
+		return !pending
+	}
+	return true
+}
+
+// runNS is non-structured exploration (paper Section 5.1): a shared ready
+// queue holds units whose dependencies are resolved; finishing a unit
+// signals its dependents. Threads pick work in arbitrary order, maximising
+// available parallelism at the price of signalling overhead.
+func (ex *executor) runNS() {
+	ex.execGate.Lock()
+	if ex.queue == nil {
+		ex.queue = newWorkQueue()
+	}
+	ex.rebuild() // seeds the queue, computes pending and settled counts
+	ex.execGate.Unlock()
+
+	threads := ex.cfg.Threads
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ex.nsWorker()
+		}()
+	}
+	wg.Wait()
+}
+
+func (ex *executor) nsWorker() {
+	for {
+		sw := metrics.Start()
+		u := ex.queue.pop()
+		sw.Stop(ex.cfg.Breakdown, metrics.Explore)
+		if u == nil {
+			return
+		}
+		myEpoch := ex.epoch.Load()
+		abandoned := false
+		for _, op := range u.Ops {
+			if settledOp(op) {
+				continue
+			}
+			if ex.gatedRun(op, myEpoch) == runAbandon {
+				abandoned = true
+				break
+			}
+		}
+		if abandoned {
+			continue
+		}
+		// Propagate completion under the read gate so an abort rebuild
+		// cannot interleave with pending-count decrements.
+		ex.execGate.RLock()
+		if ex.epoch.Load() == myEpoch {
+			if ex.completeUnit(u) {
+				for _, c := range u.Children() {
+					if c.Pending.Add(-1) == 0 && !ex.completed[c.ID].Load() &&
+						c.Claimed.CompareAndSwap(false, true) {
+						ex.queue.push(c)
+					}
+				}
+			}
+			if ex.settled.Load() == int64(len(ex.units)) {
+				ex.queue.close()
+			}
+		}
+		ex.execGate.RUnlock()
+	}
+}

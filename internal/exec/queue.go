@@ -1,0 +1,65 @@
+package exec
+
+import (
+	"sync"
+
+	"morphstream/internal/sched"
+)
+
+// workQueue is the ready queue of non-structured exploration: units whose
+// dependencies are fully resolved wait here for any free thread. It plays
+// the role of the paper's per-thread "signal holders": completing a unit
+// signals dependents by pushing them.
+type workQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*sched.Unit
+	closed bool
+}
+
+func newWorkQueue() *workQueue {
+	q := &workQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a ready unit and wakes one waiting worker.
+func (q *workQueue) push(u *sched.Unit) {
+	q.mu.Lock()
+	q.items = append(q.items, u)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop blocks until a unit is available or the queue is closed; it returns
+// nil on close.
+func (q *workQueue) pop() *sched.Unit {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil
+	}
+	u := q.items[0]
+	q.items = q.items[1:]
+	return u
+}
+
+// close wakes all workers; subsequent pops drain remaining items then
+// return nil.
+func (q *workQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// reset clears all queued items and reopens the queue (abort rebuild).
+func (q *workQueue) reset() {
+	q.mu.Lock()
+	q.items = q.items[:0]
+	q.closed = false
+	q.mu.Unlock()
+}

@@ -1,0 +1,51 @@
+package exec
+
+import (
+	"sort"
+
+	"morphstream/internal/store"
+	"morphstream/internal/txn"
+)
+
+// Serial executes a batch of state transactions strictly in timestamp
+// order, one operation at a time, rolling a transaction back atomically
+// when any of its operations fails. It is the correctness oracle: a
+// schedule is correct iff it is conflict-equivalent to this execution
+// (paper Section 2.1.1), so every scheduling strategy must reproduce
+// Serial's final state on deterministic workloads.
+func Serial(txns []*txn.Transaction, table *store.Table) Result {
+	sorted := make([]*txn.Transaction, len(txns))
+	copy(sorted, txns)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].TS < sorted[j].TS })
+
+	res := Result{}
+	ex := &executor{cfg: Config{Table: table}}
+	for _, t := range sorted {
+		failed := false
+		for _, op := range t.Ops {
+			ctx := &txn.Ctx{TS: op.TS(), Blotter: t.Blotter}
+			if err := ex.apply(op, ctx); err != nil {
+				failed = true
+				break
+			}
+			op.SetState(txn.EXE)
+			res.OpsExecuted++
+		}
+		if failed {
+			// Atomic rollback of the transaction's own writes (LD).
+			for _, op := range t.Ops {
+				if k, ok := op.Written(); ok {
+					table.Remove(k, t.TS)
+					op.ClearWritten()
+				}
+				op.SetState(txn.ABT)
+			}
+			t.MarkAborted(true)
+			t.Blotter.Reset()
+			res.Aborted++
+		} else {
+			res.Committed++
+		}
+	}
+	return res
+}

@@ -1,0 +1,280 @@
+// Package metrics provides the measurement instruments behind the paper's
+// evaluation section: the six-way execution-time breakdown of Fig. 16a,
+// end-to-end latency distributions (CDFs of Fig. 12b/13b), throughput
+// accounting, and a heap/memory-footprint sampler (Fig. 16b/17b).
+package metrics
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Category labels one bucket of the execution-time breakdown
+// (paper Section 8.3.1).
+type Category int
+
+const (
+	// Useful: accessing shared mutable state and running UDFs.
+	Useful Category = iota
+	// Sync: blocking on barriers and mode switches.
+	Sync
+	// Lock: waiting to insert/acquire locks (baselines).
+	Lock
+	// Construct: building auxiliary structures (TPG, operation chains).
+	Construct
+	// Explore: finding ready operations to process.
+	Explore
+	// Abort: wasted computation from aborts and redos.
+	Abort
+	numCategories
+)
+
+// String names the category as the paper's Fig. 16a does.
+func (c Category) String() string {
+	switch c {
+	case Useful:
+		return "Useful"
+	case Sync:
+		return "Sync"
+	case Lock:
+		return "Lock"
+	case Construct:
+		return "Construct"
+	case Explore:
+		return "Explore"
+	case Abort:
+		return "Abort"
+	}
+	return "?"
+}
+
+// Categories lists all breakdown buckets in display order.
+func Categories() []Category {
+	return []Category{Useful, Sync, Lock, Construct, Explore, Abort}
+}
+
+// Breakdown accumulates nanoseconds per category. All methods tolerate a
+// nil receiver so instrumentation can be compiled in unconditionally and
+// enabled per run.
+type Breakdown struct {
+	buckets [numCategories]atomic.Int64
+}
+
+// Add accumulates d into category c.
+func (b *Breakdown) Add(c Category, d time.Duration) {
+	if b == nil {
+		return
+	}
+	b.buckets[c].Add(int64(d))
+}
+
+// Get returns the accumulated duration of category c.
+func (b *Breakdown) Get(c Category) time.Duration {
+	if b == nil {
+		return 0
+	}
+	return time.Duration(b.buckets[c].Load())
+}
+
+// Total sums all categories.
+func (b *Breakdown) Total() time.Duration {
+	if b == nil {
+		return 0
+	}
+	var t time.Duration
+	for c := Category(0); c < numCategories; c++ {
+		t += b.Get(c)
+	}
+	return t
+}
+
+// Reset zeroes all buckets.
+func (b *Breakdown) Reset() {
+	if b == nil {
+		return
+	}
+	for c := range b.buckets {
+		b.buckets[c].Store(0)
+	}
+}
+
+// String renders the breakdown in display order.
+func (b *Breakdown) String() string {
+	if b == nil {
+		return "Breakdown(nil)"
+	}
+	s := "Breakdown{"
+	for i, c := range Categories() {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s: %v", c, b.Get(c))
+	}
+	return s + "}"
+}
+
+// Stopwatch measures one interval for a Breakdown bucket.
+type Stopwatch struct{ start time.Time }
+
+// Start begins a measurement.
+func Start() Stopwatch { return Stopwatch{start: time.Now()} }
+
+// Stop accumulates the elapsed time into b's category c; b may be nil.
+func (s Stopwatch) Stop(b *Breakdown, c Category) {
+	if b != nil {
+		b.Add(c, time.Since(s.start))
+	}
+}
+
+// LatencyRecorder collects end-to-end event latencies and reports
+// percentiles and CDF points.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// NewLatencyRecorder returns an empty recorder.
+func NewLatencyRecorder() *LatencyRecorder { return &LatencyRecorder{} }
+
+// Record appends one latency sample; safe for concurrent use.
+func (l *LatencyRecorder) Record(d time.Duration) {
+	l.mu.Lock()
+	l.samples = append(l.samples, d)
+	l.mu.Unlock()
+}
+
+// RecordN appends the same latency for n events (batch completion).
+func (l *LatencyRecorder) RecordN(d time.Duration, n int) {
+	l.mu.Lock()
+	for i := 0; i < n; i++ {
+		l.samples = append(l.samples, d)
+	}
+	l.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (l *LatencyRecorder) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.samples)
+}
+
+// Percentile returns the p-th percentile latency (0 <= p <= 100).
+func (l *LatencyRecorder) Percentile(p float64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	s := make([]time.Duration, len(l.samples))
+	copy(s, l.samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p / 100 * float64(len(s)-1))
+	return s[idx]
+}
+
+// CDF returns (latency, cumulative percent) pairs at the given percentiles,
+// the series plotted in Fig. 12b and 13b.
+func (l *LatencyRecorder) CDF(percentiles []float64) [][2]float64 {
+	out := make([][2]float64, 0, len(percentiles))
+	for _, p := range percentiles {
+		d := l.Percentile(p)
+		out = append(out, [2]float64{float64(d.Milliseconds()), p})
+	}
+	return out
+}
+
+// MemSampler periodically samples heap usage and table version counts; it
+// backs the memory-footprint figures.
+type MemSampler struct {
+	mu      sync.Mutex
+	samples []MemSample
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// MemSample is one point of the footprint curve.
+type MemSample struct {
+	Elapsed   time.Duration
+	HeapBytes uint64
+}
+
+// StartMemSampler begins sampling every interval until Stop is called.
+func StartMemSampler(interval time.Duration) *MemSampler {
+	m := &MemSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	start := time.Now()
+	go func() {
+		defer close(m.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-tick.C:
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				m.mu.Lock()
+				m.samples = append(m.samples, MemSample{
+					Elapsed:   time.Since(start),
+					HeapBytes: ms.HeapAlloc,
+				})
+				m.mu.Unlock()
+			}
+		}
+	}()
+	return m
+}
+
+// Stop ends sampling and returns the collected curve.
+func (m *MemSampler) Stop() []MemSample {
+	close(m.stop)
+	<-m.done
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.samples
+}
+
+// Throughput converts an event count and elapsed time into k events/sec,
+// the unit of every throughput figure in the paper.
+func Throughput(events int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(events) / elapsed.Seconds() / 1000
+}
+
+// CPUTicksProxy reports process CPU time and allocation statistics: the
+// substitute for the paper's VTune micro-architectural counters (Fig. 21a).
+type CPUTicksProxy struct {
+	AllocBytes uint64
+	Mallocs    uint64
+	GCCycles   uint32
+	PauseTotal time.Duration
+}
+
+// ReadCPUTicksProxy samples the runtime counters.
+func ReadCPUTicksProxy() CPUTicksProxy {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return CPUTicksProxy{
+		AllocBytes: ms.TotalAlloc,
+		Mallocs:    ms.Mallocs,
+		GCCycles:   ms.NumGC,
+		PauseTotal: time.Duration(ms.PauseTotalNs),
+	}
+}
+
+// Delta subtracts an earlier sample.
+func (c CPUTicksProxy) Delta(earlier CPUTicksProxy) CPUTicksProxy {
+	return CPUTicksProxy{
+		AllocBytes: c.AllocBytes - earlier.AllocBytes,
+		Mallocs:    c.Mallocs - earlier.Mallocs,
+		GCCycles:   c.GCCycles - earlier.GCCycles,
+		PauseTotal: c.PauseTotal - earlier.PauseTotal,
+	}
+}

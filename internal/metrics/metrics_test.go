@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBreakdownAccumulates(t *testing.T) {
+	b := &Breakdown{}
+	b.Add(Useful, 2*time.Millisecond)
+	b.Add(Useful, 3*time.Millisecond)
+	b.Add(Abort, time.Millisecond)
+	if got := b.Get(Useful); got != 5*time.Millisecond {
+		t.Fatalf("Useful = %v", got)
+	}
+	if got := b.Total(); got != 6*time.Millisecond {
+		t.Fatalf("Total = %v", got)
+	}
+	b.Reset()
+	if b.Total() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestBreakdownNilSafe(t *testing.T) {
+	var b *Breakdown
+	b.Add(Useful, time.Second) // must not panic
+	if b.Get(Useful) != 0 || b.Total() != 0 {
+		t.Fatal("nil breakdown returned non-zero")
+	}
+	b.Reset()
+	if b.String() != "Breakdown(nil)" {
+		t.Fatalf("String = %q", b.String())
+	}
+	Start().Stop(b, Useful)
+}
+
+func TestBreakdownConcurrent(t *testing.T) {
+	b := &Breakdown{}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				b.Add(Sync, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.Get(Sync); got != 1600*time.Microsecond {
+		t.Fatalf("Sync = %v; want 1.6ms", got)
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	want := []string{"Useful", "Sync", "Lock", "Construct", "Explore", "Abort"}
+	for i, c := range Categories() {
+		if c.String() != want[i] {
+			t.Errorf("category %d = %q; want %q", i, c.String(), want[i])
+		}
+	}
+	if Category(99).String() != "?" {
+		t.Error("unknown category stringer")
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	l := NewLatencyRecorder()
+	if l.Percentile(50) != 0 {
+		t.Fatal("empty recorder percentile != 0")
+	}
+	for i := 1; i <= 100; i++ {
+		l.Record(time.Duration(i) * time.Millisecond)
+	}
+	if got := l.Percentile(0); got != time.Millisecond {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := l.Percentile(100); got != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	p50 := l.Percentile(50)
+	if p50 < 49*time.Millisecond || p50 > 51*time.Millisecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if l.Count() != 100 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	cdf := l.CDF([]float64{50, 99})
+	if len(cdf) != 2 || cdf[0][1] != 50 || cdf[1][1] != 99 {
+		t.Fatalf("cdf = %v", cdf)
+	}
+	l.RecordN(time.Second, 5)
+	if l.Count() != 105 {
+		t.Fatalf("count after RecordN = %d", l.Count())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(10000, time.Second); got != 10 {
+		t.Fatalf("Throughput = %v; want 10 k/sec", got)
+	}
+	if got := Throughput(100, 0); got != 0 {
+		t.Fatalf("zero elapsed = %v", got)
+	}
+}
+
+func TestMemSampler(t *testing.T) {
+	m := StartMemSampler(time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	samples := m.Stop()
+	if len(samples) == 0 {
+		t.Fatal("no samples collected")
+	}
+	for _, s := range samples {
+		if s.HeapBytes == 0 {
+			t.Fatal("zero heap sample")
+		}
+	}
+}
+
+func TestCPUTicksProxyDelta(t *testing.T) {
+	before := ReadCPUTicksProxy()
+	waste := make([][]byte, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		waste = append(waste, make([]byte, 1024))
+	}
+	_ = waste
+	after := ReadCPUTicksProxy()
+	d := after.Delta(before)
+	if d.AllocBytes < 1000*1024 {
+		t.Fatalf("alloc delta = %d; want >= 1MB", d.AllocBytes)
+	}
+}

@@ -1,0 +1,443 @@
+// Package sched implements MorphStream's Scheduling stage (paper Section 5).
+// A scheduling strategy is a point in a three-dimensional decision space:
+// exploration strategy, scheduling-unit granularity, and abort handling.
+// BuildUnits materialises the chosen granularity (merging coarse-grained
+// cycles, Section 5.2), Stratify computes the rank-stratified auxiliary
+// structure used by structured exploration (Fig. 5), and Decide is the
+// lightweight heuristic decision model of Fig. 7.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"morphstream/internal/tpg"
+	"morphstream/internal/txn"
+)
+
+// Explore selects how threads traverse the TPG (paper Section 5.1).
+type Explore int8
+
+const (
+	// SExploreBFS: structured, stratum-by-stratum with barriers.
+	SExploreBFS Explore = iota
+	// SExploreDFS: structured, pre-assigned operations, per-dependency waits.
+	SExploreDFS
+	// NSExplore: non-structured, dependency-resolution driven work queue.
+	NSExplore
+)
+
+// String names the strategy as the paper does.
+func (e Explore) String() string {
+	switch e {
+	case SExploreBFS:
+		return "s-explore(BFS)"
+	case SExploreDFS:
+		return "s-explore(DFS)"
+	case NSExplore:
+		return "ns-explore"
+	}
+	return "?"
+}
+
+// Granularity selects the scheduling-unit size (paper Section 5.2).
+type Granularity int8
+
+const (
+	// FSchedule: a single operation per scheduling unit.
+	FSchedule Granularity = iota
+	// CSchedule: a group of operations (per-key chain) per unit.
+	CSchedule
+)
+
+// String names the granularity as the paper does.
+func (g Granularity) String() string {
+	if g == CSchedule {
+		return "c-schedule"
+	}
+	return "f-schedule"
+}
+
+// AbortMode selects the abort-handling mechanism (paper Section 5.3).
+type AbortMode int8
+
+const (
+	// EAbort: eager; abort as soon as an operation fails.
+	EAbort AbortMode = iota
+	// LAbort: lazy; log failures, handle them after the TPG is explored.
+	LAbort
+)
+
+// String names the mode as the paper does.
+func (a AbortMode) String() string {
+	if a == LAbort {
+		return "l-abort"
+	}
+	return "e-abort"
+}
+
+// Decision is one point in the three-dimensional scheduling space.
+type Decision struct {
+	Explore Explore
+	Gran    Granularity
+	Abort   AbortMode
+}
+
+// String renders e.g. "ns-explore/f-schedule/e-abort".
+func (d Decision) String() string {
+	return fmt.Sprintf("%s/%s/%s", d.Explore, d.Gran, d.Abort)
+}
+
+// Unit is one scheduling unit: a single operation under f-schedule, or a
+// group of operations (a per-key chain, with unit-level cycles merged) under
+// c-schedule. The executor owns the runtime fields.
+type Unit struct {
+	ID   int
+	Ops  []*txn.Operation // in (ts, id) order
+	Rank int
+
+	parents  []*Unit
+	children []*Unit
+
+	// Pending counts unfinished parent units; the executor decrements it
+	// and enqueues the unit at zero (ns-explore).
+	Pending atomic.Int32
+	// Claimed guards against double-enqueueing during ns-explore.
+	Claimed atomic.Bool
+	// DoneOps counts operations of the unit that reached EXE or ABT.
+	DoneOps atomic.Int32
+}
+
+// Parents returns the units this unit depends on.
+func (u *Unit) Parents() []*Unit { return u.parents }
+
+// LinkUnits adds the dependency edge p -> c if it is not already present.
+// The abort handler uses it to bridge dependencies around aborted
+// operations; the executor guarantees exclusive access while it runs.
+func LinkUnits(p, c *Unit) {
+	if p == c {
+		return
+	}
+	for _, x := range c.parents {
+		if x == p {
+			return
+		}
+	}
+	c.parents = append(c.parents, p)
+	p.children = append(p.children, c)
+}
+
+// Children returns the units depending on this unit.
+func (u *Unit) Children() []*Unit { return u.children }
+
+// Done reports whether every operation of the unit is settled (EXE or ABT).
+func (u *Unit) Done() bool {
+	for _, op := range u.Ops {
+		if s := op.State(); s != txn.EXE && s != txn.ABT {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildUnits materialises scheduling units for the graph at the requested
+// granularity. Under c-schedule, per-key chains whose unit-level dependency
+// graph is cyclic are merged into single units (paper Fig. 6); cyclic
+// reports whether any merge happened, which feeds the decision model.
+func BuildUnits(g *tpg.Graph, gran Granularity) (units []*Unit, cyclic bool) {
+	switch gran {
+	case FSchedule:
+		units = make([]*Unit, 0, len(g.Ops))
+		for _, op := range g.Ops {
+			units = append(units, &Unit{Ops: []*txn.Operation{op}})
+		}
+	case CSchedule:
+		units = make([]*Unit, 0, len(g.Chains))
+		for _, chain := range g.Chains {
+			units = append(units, &Unit{Ops: chain})
+		}
+	}
+	unitOf := make(map[*txn.Operation]*Unit, len(g.Ops))
+	for _, u := range units {
+		for _, op := range u.Ops {
+			unitOf[op] = u
+		}
+	}
+	// Raw unit edges from operation edges.
+	adj := make(map[*Unit]map[*Unit]struct{}, len(units))
+	for _, u := range units {
+		for _, op := range u.Ops {
+			for _, c := range op.Children() {
+				cu := unitOf[c]
+				if cu == nil || cu == u {
+					continue
+				}
+				m := adj[u]
+				if m == nil {
+					m = make(map[*Unit]struct{})
+					adj[u] = m
+				}
+				m[cu] = struct{}{}
+			}
+		}
+	}
+
+	if gran == CSchedule {
+		units, adj, cyclic = mergeCycles(units, adj)
+	}
+
+	for i, u := range units {
+		u.ID = i
+	}
+	for u, m := range adj {
+		for c := range m {
+			u.children = append(u.children, c)
+			c.parents = append(c.parents, u)
+		}
+	}
+	for _, u := range units {
+		sort.Slice(u.children, func(i, j int) bool { return u.children[i].ID < u.children[j].ID })
+		sort.Slice(u.parents, func(i, j int) bool { return u.parents[i].ID < u.parents[j].ID })
+	}
+	return units, cyclic
+}
+
+// mergeCycles runs Tarjan's SCC algorithm on the unit graph and merges every
+// non-trivial strongly connected component into a single unit whose
+// operations run in (ts, id) order — a topological order of any subset of the
+// TPG, since all operation edges respect it.
+func mergeCycles(units []*Unit, adj map[*Unit]map[*Unit]struct{}) ([]*Unit, map[*Unit]map[*Unit]struct{}, bool) {
+	index := make(map[*Unit]int, len(units))
+	low := make(map[*Unit]int, len(units))
+	onStack := make(map[*Unit]bool, len(units))
+	comp := make(map[*Unit]int, len(units))
+	var stack []*Unit
+	next, ncomp := 0, 0
+
+	// Iterative Tarjan to survive deep chains.
+	type frame struct {
+		u    *Unit
+		succ []*Unit
+		i    int
+	}
+	succOf := func(u *Unit) []*Unit {
+		m := adj[u]
+		out := make([]*Unit, 0, len(m))
+		for c := range m {
+			out = append(out, c)
+		}
+		return out
+	}
+	for _, root := range units {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		frames := []frame{{u: root, succ: succOf(root)}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succ) {
+				w := f.succ[f.i]
+				f.i++
+				if _, seen := index[w]; !seen {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{u: w, succ: succOf(w)})
+				} else if onStack[w] && index[w] < low[f.u] {
+					low[f.u] = index[w]
+				}
+				continue
+			}
+			// Pop frame.
+			u := f.u
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].u
+				if low[u] < low[p] {
+					low[p] = low[u]
+				}
+			}
+			if low[u] == index[u] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == u {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+
+	members := make([][]*Unit, ncomp)
+	for _, u := range units {
+		members[comp[u]] = append(members[comp[u]], u)
+	}
+	cyclic := false
+	merged := make([]*Unit, ncomp)
+	newOf := make(map[*Unit]*Unit, len(units))
+	for c, ms := range members {
+		if len(ms) == 1 {
+			merged[c] = ms[0]
+			newOf[ms[0]] = ms[0]
+			continue
+		}
+		cyclic = true
+		nu := &Unit{}
+		for _, m := range ms {
+			nu.Ops = append(nu.Ops, m.Ops...)
+			newOf[m] = nu
+		}
+		sort.Slice(nu.Ops, func(i, j int) bool {
+			ti, tj := nu.Ops[i].TS(), nu.Ops[j].TS()
+			if ti != tj {
+				return ti < tj
+			}
+			return nu.Ops[i].ID < nu.Ops[j].ID
+		})
+		merged[c] = nu
+	}
+
+	newAdj := make(map[*Unit]map[*Unit]struct{}, len(merged))
+	for u, m := range adj {
+		nu := newOf[u]
+		for c := range m {
+			nc := newOf[c]
+			if nu == nc {
+				continue
+			}
+			mm := newAdj[nu]
+			if mm == nil {
+				mm = make(map[*Unit]struct{})
+				newAdj[nu] = mm
+			}
+			mm[nc] = struct{}{}
+		}
+	}
+	out := make([]*Unit, 0, ncomp)
+	seen := make(map[*Unit]bool, ncomp)
+	for _, u := range merged {
+		if !seen[u] {
+			seen[u] = true
+			out = append(out, u)
+		}
+	}
+	return out, newAdj, cyclic
+}
+
+// Stratify partitions units into strata by rank — the length of the longest
+// dependency path reaching each unit (paper Fig. 5). Structured exploration
+// processes stratum k only after stratum k-1.
+func Stratify(units []*Unit) [][]*Unit {
+	indeg := make(map[*Unit]int, len(units))
+	for _, u := range units {
+		indeg[u] = len(u.parents)
+	}
+	var queue []*Unit
+	for _, u := range units {
+		if indeg[u] == 0 {
+			u.Rank = 0
+			queue = append(queue, u)
+		}
+	}
+	maxRank := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u.Rank > maxRank {
+			maxRank = u.Rank
+		}
+		for _, c := range u.children {
+			if r := u.Rank + 1; r > c.Rank {
+				c.Rank = r
+			}
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	strata := make([][]*Unit, maxRank+1)
+	for _, u := range units {
+		strata[u.Rank] = append(strata[u.Rank], u)
+	}
+	return strata
+}
+
+// ModelInputs couple the measured TPG properties with the profiled workload
+// characteristics the model needs (paper Table 2): UDF complexity C is
+// measured from execution, the aborting ratio a from the previous batch.
+type ModelInputs struct {
+	Props      tpg.Props
+	Complexity time.Duration // avg UDF cost (C)
+	AbortRatio float64       // ratio of aborting transactions (a)
+	Cyclic     bool          // cyclic dependency among coarse units
+}
+
+// Model thresholds (the "concrete threshold numbers in brackets" of Fig. 7),
+// calibrated by the microbenchmarks in internal/harness.
+const (
+	// HighDepsPerOp: above this many TD+PD edges per operation the
+	// dependency count is considered High.
+	HighDepsPerOp = 1.2
+	// SkewThreshold: a degree skew above this is considered Skewed.
+	SkewThreshold = 8.0
+	// HighTDPerOp / LowPDPerOp gate c-schedule.
+	HighTDPerOp = 0.4
+	LowPDPerOp  = 0.15
+	// LowComplexity / HighAbortRatio gate l-abort.
+	LowComplexity  = 25 * time.Microsecond
+	HighAbortRatio = 0.25
+)
+
+// Decide is the heuristic decision model of paper Fig. 7: it maps the
+// current TPG properties to a scheduling decision, one dimension at a time.
+func Decide(in ModelInputs) Decision {
+	var d Decision
+
+	// Exploration strategy: many dependencies and a uniform degree
+	// distribution favour structured exploration; otherwise non-structured
+	// exploration resolves dependencies more flexibly.
+	deps := float64(in.Props.NumTD + in.Props.NumPD)
+	ops := float64(max(in.Props.NumOps, 1))
+	if deps/ops >= HighDepsPerOp && in.Props.DegreeSkew < SkewThreshold {
+		d.Explore = SExploreBFS
+	} else {
+		d.Explore = NSExplore
+	}
+
+	// Scheduling granularity: coarse units pay off only without cyclic
+	// unit dependencies, with many TDs to amortise and few PDs to stall on.
+	td, pd := float64(in.Props.NumTD), float64(in.Props.NumPD)
+	if !in.Cyclic && td/ops >= HighTDPerOp && pd/ops <= LowPDPerOp {
+		d.Gran = CSchedule
+	} else {
+		d.Gran = FSchedule
+	}
+
+	// Abort handling: lazy batching of aborts wins when redo is cheap
+	// (low complexity) and aborts are frequent.
+	if in.Complexity <= LowComplexity && in.AbortRatio >= HighAbortRatio {
+		d.Abort = LAbort
+	} else {
+		d.Abort = EAbort
+	}
+	return d
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,293 @@
+// Package store implements MorphStream's multi-versioning state table
+// (paper Section 6.2). Each key holds a chain of timestamped versions.
+// Reads at timestamp ts observe the latest version strictly older than ts,
+// so every operation of a transaction sees the pre-transaction state.
+// Window reads return all versions inside an event-time range, which is how
+// MorphStream serves windowed state access (Section 6.5.1). Aborts roll the
+// chain back by removing the aborted transaction's version (Section 6.3.2),
+// and Truncate discards history once a batch is fully processed.
+package store
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sort"
+	"sync"
+)
+
+// Key identifies one shared mutable state entry.
+type Key = string
+
+// Value is the content of one version. Benchmarks use int64 values; the
+// case studies store small structs.
+type Value = any
+
+// Version is a single timestamped copy of a state entry.
+type Version struct {
+	TS    uint64
+	Value Value
+}
+
+// chain is the per-key version list, kept sorted by TS ascending.
+type chain struct {
+	versions []Version
+}
+
+// locate returns the index of the first version with TS >= ts.
+func (c *chain) locate(ts uint64) int {
+	return sort.Search(len(c.versions), func(i int) bool { return c.versions[i].TS >= ts })
+}
+
+const defaultShards = 64
+
+// Table is a sharded multi-version state table. All methods are safe for
+// concurrent use. Within one batch the engine guarantees that conflicting
+// accesses to the same key are ordered by the TPG, but distinct keys are
+// routinely touched in parallel, hence the shard locks.
+type Table struct {
+	shards []shard
+	seed   maphash.Seed
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[Key]*chain
+}
+
+// NewTable returns an empty table with the default shard count.
+func NewTable() *Table { return NewTableShards(defaultShards) }
+
+// NewTableShards returns an empty table with n lock shards.
+func NewTableShards(n int) *Table {
+	if n <= 0 {
+		n = defaultShards
+	}
+	t := &Table{shards: make([]shard, n), seed: maphash.MakeSeed()}
+	for i := range t.shards {
+		t.shards[i].m = make(map[Key]*chain)
+	}
+	return t
+}
+
+func (t *Table) shardOf(k Key) *shard {
+	return &t.shards[maphash.String(t.seed, k)%uint64(len(t.shards))]
+}
+
+// Preload seeds key k with an initial version at timestamp 0. TSPEs
+// preallocate shared state before processing (Section 2.1.1).
+func (t *Table) Preload(k Key, v Value) {
+	s := t.shardOf(k)
+	s.mu.Lock()
+	s.m[k] = &chain{versions: []Version{{TS: 0, Value: v}}}
+	s.mu.Unlock()
+}
+
+// Read returns the value of the latest version with TS < ts.
+// ok is false when the key does not exist or has no version older than ts.
+func (t *Table) Read(k Key, ts uint64) (Value, bool) {
+	s := t.shardOf(k)
+	s.mu.RLock()
+	c := s.m[k]
+	if c == nil || len(c.versions) == 0 {
+		s.mu.RUnlock()
+		return nil, false
+	}
+	i := c.locate(ts)
+	if i == 0 {
+		s.mu.RUnlock()
+		return nil, false
+	}
+	v := c.versions[i-1].Value
+	s.mu.RUnlock()
+	return v, true
+}
+
+// ReadRange returns a copy of all versions with lo <= TS < hi, ascending.
+// It serves window operations: a window read at ts with size w asks for
+// [ts-w, ts).
+func (t *Table) ReadRange(k Key, lo, hi uint64) []Version {
+	s := t.shardOf(k)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := s.m[k]
+	if c == nil {
+		return nil
+	}
+	i, j := c.locate(lo), c.locate(hi)
+	if i >= j {
+		return nil
+	}
+	out := make([]Version, j-i)
+	copy(out, c.versions[i:j])
+	return out
+}
+
+// Write installs a new version of k at ts. Versions are almost always
+// appended in timestamp order during in-order execution, but speculative
+// execution may install them out of order, so Write inserts at the sorted
+// position. Writing twice at the same (k, ts) replaces the value.
+func (t *Table) Write(k Key, ts uint64, v Value) {
+	s := t.shardOf(k)
+	s.mu.Lock()
+	c := s.m[k]
+	if c == nil {
+		c = &chain{}
+		s.m[k] = c
+	}
+	i := c.locate(ts)
+	switch {
+	case i < len(c.versions) && c.versions[i].TS == ts:
+		c.versions[i].Value = v
+	case i == len(c.versions):
+		c.versions = append(c.versions, Version{TS: ts, Value: v})
+	default:
+		c.versions = append(c.versions, Version{})
+		copy(c.versions[i+1:], c.versions[i:])
+		c.versions[i] = Version{TS: ts, Value: v}
+	}
+	s.mu.Unlock()
+}
+
+// Remove deletes the version of k at exactly ts, if present. It implements
+// rollback of a single aborted write.
+func (t *Table) Remove(k Key, ts uint64) {
+	s := t.shardOf(k)
+	s.mu.Lock()
+	c := s.m[k]
+	if c != nil {
+		i := c.locate(ts)
+		if i < len(c.versions) && c.versions[i].TS == ts {
+			c.versions = append(c.versions[:i], c.versions[i+1:]...)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Latest returns the most recent version value of k regardless of timestamp.
+func (t *Table) Latest(k Key) (Value, bool) {
+	s := t.shardOf(k)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := s.m[k]
+	if c == nil || len(c.versions) == 0 {
+		return nil, false
+	}
+	return c.versions[len(c.versions)-1].Value, true
+}
+
+// VersionCount reports how many versions k currently holds.
+func (t *Table) VersionCount(k Key) int {
+	s := t.shardOf(k)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if c := s.m[k]; c != nil {
+		return len(c.versions)
+	}
+	return 0
+}
+
+// Truncate collapses every chain to its single latest version not newer
+// than ts, re-stamped at 0 when keepTS is false. The engine calls it after
+// a batch commits to discard temporal objects (Section 8.3.3); disabling
+// clean-up reproduces the unbounded memory growth of Fig. 16b.
+func (t *Table) Truncate(ts uint64) {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for _, c := range s.m {
+			j := len(c.versions)
+			if ts != ^uint64(0) {
+				j = c.locate(ts + 1)
+			}
+			if j == 0 {
+				continue
+			}
+			last := c.versions[j-1]
+			c.versions = c.versions[:1]
+			c.versions[0] = last
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Keys returns every key currently present. Order is unspecified.
+// Planning uses it to fan virtual operations of non-deterministic accesses
+// out to all states (Section 4.4).
+func (t *Table) Keys() []Key {
+	var out []Key
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for k := range s.m {
+			out = append(out, k)
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// Len reports the number of keys.
+func (t *Table) Len() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Snapshot materialises the latest value of every key. Tests use it to
+// compare engines against the serial oracle.
+func (t *Table) Snapshot() map[Key]Value {
+	out := make(map[Key]Value, t.Len())
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for k, c := range s.m {
+			if len(c.versions) > 0 {
+				out[k] = c.versions[len(c.versions)-1].Value
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// TotalVersions reports the number of versions across all keys; the memory
+// footprint experiments sample it.
+func (t *Table) TotalVersions() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for _, c := range s.m {
+			n += len(c.versions)
+		}
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Clone deep-copies the table (values are copied shallowly). The TStream
+// baseline snapshots state at batch start to support whole-batch redo.
+func (t *Table) Clone() *Table {
+	n := NewTableShards(len(t.shards))
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for k, c := range s.m {
+			vs := make([]Version, len(c.versions))
+			copy(vs, c.versions)
+			n.shardOf(k).m[k] = &chain{versions: vs}
+		}
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// String summarises the table for debugging.
+func (t *Table) String() string {
+	return fmt.Sprintf("store.Table{keys: %d, versions: %d}", t.Len(), t.TotalVersions())
+}

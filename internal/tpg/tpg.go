@@ -1,0 +1,403 @@
+// Package tpg implements MorphStream's Planning stage (paper Section 4):
+// the two-phase construction of the Task Precedence Graph.
+//
+// Stream processing phase: arriving state transactions are decomposed into
+// atomic state-access operations; logical dependencies (LDs) are implicit in
+// the transaction; operations are inserted into per-key lists together with
+// the virtual operations of their parametric sources. Out-of-order arrival
+// is tolerated because the lists are only sorted at punctuation.
+//
+// Transaction processing phase (Finalize): each key list is sorted by
+// timestamp; temporal dependencies (TDs) are derived by chaining consecutive
+// real operations, and parametric dependencies (PDs) by linking each virtual
+// operation to the latest preceding write (window operations link to every
+// in-window write; non-deterministic operations fan virtual operations out to
+// every key list, paper Section 4.3 and 4.4).
+package tpg
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sort"
+	"sync"
+
+	"morphstream/internal/txn"
+)
+
+// Key aliases the store key type.
+type Key = txn.Key
+
+// entryKind distinguishes the three flavours of key-list entries.
+type entryKind int8
+
+const (
+	// real: the operation's own target-key placement; participates in the
+	// TD chain.
+	real entryKind = iota
+	// vo: a virtual operation for a parametric source; receives a PD edge
+	// from the latest preceding write.
+	vo
+	// ndvo: a virtual operation of a non-deterministic access; pessimistic,
+	// so it participates in the TD chain in both directions.
+	ndvo
+)
+
+// entry is one slot in a per-key sorted list.
+type entry struct {
+	op   *txn.Operation
+	kind entryKind
+	// window is the event-time range of a window source; zero for plain vo.
+	window uint64
+}
+
+type keyList struct {
+	entries []entry
+}
+
+const listShards = 64
+
+type listShard struct {
+	mu sync.Mutex
+	m  map[Key]*keyList
+}
+
+// Builder accumulates one batch of state transactions and constructs its TPG.
+// AddTxn/AddTxns may be called concurrently (stream processing phase);
+// Finalize runs the transaction processing phase.
+type Builder struct {
+	shards [listShards]listShard
+	seed   maphash.Seed
+
+	mu      sync.Mutex
+	txns    []*txn.Transaction
+	ndOps   []*txn.Operation
+	numOps  int
+	numLD   int
+	multi   int // ops with >1 source key
+	withSrc int // ops with >=1 source key
+
+	// allKeys lazily supplies the key universe for non-deterministic
+	// fan-out (typically store.Table.Keys).
+	allKeys func() []Key
+}
+
+// NewBuilder returns an empty Builder. allKeys supplies the key universe for
+// non-deterministic operations; it may be nil when the workload has none.
+func NewBuilder(allKeys func() []Key) *Builder {
+	return &Builder{seed: maphash.MakeSeed(), allKeys: allKeys}
+}
+
+func (b *Builder) shardOf(k Key) *listShard {
+	return &b.shards[maphash.String(b.seed, k)%listShards]
+}
+
+func (b *Builder) appendEntry(k Key, e entry) {
+	s := b.shardOf(k)
+	s.mu.Lock()
+	l := s.m[k]
+	if l == nil {
+		if s.m == nil {
+			s.m = make(map[Key]*keyList)
+		}
+		l = &keyList{}
+		s.m[k] = l
+	}
+	l.entries = append(l.entries, e)
+	s.mu.Unlock()
+}
+
+// AddTxn decomposes one state transaction into its operations and inserts
+// them into the per-key lists (stream processing phase). Safe for concurrent
+// use.
+func (b *Builder) AddTxn(t *txn.Transaction) {
+	nd := 0
+	multi, withSrc := 0, 0
+	for _, op := range t.Ops {
+		op.SetState(txn.BLK)
+		if len(op.SrcKeys) > 1 {
+			multi++
+		}
+		if len(op.SrcKeys) > 0 {
+			withSrc++
+		}
+		if op.IsND() {
+			// Fan-out is deferred to Finalize so that lists created by
+			// later arrivals are covered too.
+			nd++
+			continue
+		}
+		b.appendEntry(op.Key, entry{op: op, kind: real})
+		for _, src := range op.SrcKeys {
+			if src == op.Key && op.Window == 0 {
+				// Self-sourced write (e.g. balance = f(balance)): the TD
+				// chain already orders it after the previous write.
+				continue
+			}
+			b.appendEntry(src, entry{op: op, kind: vo, window: op.Window})
+		}
+	}
+	b.mu.Lock()
+	b.txns = append(b.txns, t)
+	b.numOps += len(t.Ops)
+	if n := len(t.Ops); n > 1 {
+		b.numLD += n - 1
+	}
+	b.multi += multi
+	b.withSrc += withSrc
+	for _, op := range t.Ops {
+		if op.IsND() {
+			b.ndOps = append(b.ndOps, op)
+		}
+	}
+	b.mu.Unlock()
+	_ = nd
+}
+
+// AddTxns adds a slice of transactions using the given number of workers;
+// it models the parallel stream processing phase.
+func (b *Builder) AddTxns(txns []*txn.Transaction, workers int) {
+	if workers <= 1 || len(txns) < 2 {
+		for _, t := range txns {
+			b.AddTxn(t)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(txns) + workers - 1) / workers
+	for lo := 0; lo < len(txns); lo += chunk {
+		hi := lo + chunk
+		if hi > len(txns) {
+			hi = len(txns)
+		}
+		wg.Add(1)
+		go func(part []*txn.Transaction) {
+			defer wg.Done()
+			for _, t := range part {
+				b.AddTxn(t)
+			}
+		}(txns[lo:hi])
+	}
+	wg.Wait()
+}
+
+// Graph is the constructed TPG for one batch: vertices are operations, edges
+// are the TD/PD dependencies (LDs stay implicit in the transactions).
+type Graph struct {
+	Txns []*txn.Transaction
+	Ops  []*txn.Operation
+	// Chains groups the real operations of each key in timestamp order;
+	// the scheduler uses them as coarse-grained scheduling units.
+	Chains [][]*txn.Operation
+	Props  Props
+}
+
+// Props are the TPG properties feeding the decision model (paper Table 2).
+type Props struct {
+	NumTxns int
+	NumOps  int
+	NumLD   int
+	NumTD   int
+	NumPD   int
+	// NumND / NumWindow count special operations.
+	NumND     int
+	NumWindow int
+	// DegreeSkew is max key-list length over mean length: 1 for perfectly
+	// uniform access, large for hot keys (θ in the paper).
+	DegreeSkew float64
+	// MultiAccessRatio approximates r: the share of operations computing
+	// from more than one source state.
+	MultiAccessRatio float64
+}
+
+// Finalize sorts the key lists and derives TD and PD edges (transaction
+// processing phase), returning the completed graph. workers bounds the
+// parallelism of per-shard edge derivation.
+func (b *Builder) Finalize(workers int) *Graph {
+	// Non-deterministic fan-out: a pessimistic virtual operation of every
+	// ND op goes into every known key list (paper Section 4.4).
+	if len(b.ndOps) > 0 {
+		universe := map[Key]struct{}{}
+		if b.allKeys != nil {
+			for _, k := range b.allKeys() {
+				universe[k] = struct{}{}
+			}
+		}
+		for i := range b.shards {
+			s := &b.shards[i]
+			s.mu.Lock()
+			for k := range s.m {
+				universe[k] = struct{}{}
+			}
+			s.mu.Unlock()
+		}
+		for k := range universe {
+			for _, op := range b.ndOps {
+				b.appendEntry(k, entry{op: op, kind: ndvo})
+			}
+		}
+	}
+
+	g := &Graph{Txns: b.txns}
+	g.Props.NumTxns = len(b.txns)
+	g.Props.NumOps = b.numOps
+	g.Props.NumLD = b.numLD
+	if b.numOps > 0 {
+		g.Props.MultiAccessRatio = float64(b.multi) / float64(b.numOps)
+	}
+	for _, t := range b.txns {
+		for _, op := range t.Ops {
+			g.Ops = append(g.Ops, op)
+			switch op.Kind {
+			case txn.OpNDRead, txn.OpNDWrite:
+				g.Props.NumND++
+			case txn.OpWindowRead, txn.OpWindowWrite:
+				g.Props.NumWindow++
+			}
+		}
+	}
+
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	results := make([]shardStats, listShards)
+	sem := make(chan struct{}, workers)
+	for i := range b.shards {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			results[i] = b.deriveShard(&b.shards[i])
+			<-sem
+		}(i)
+	}
+	wg.Wait()
+
+	var maxList, totList, nLists int
+	for _, r := range results {
+		g.Props.NumTD += r.td
+		g.Props.NumPD += r.pd
+		if r.maxList > maxList {
+			maxList = r.maxList
+		}
+		totList += r.totList
+		nLists += r.nLists
+	}
+	if nLists > 0 && totList > 0 {
+		g.Props.DegreeSkew = float64(maxList) / (float64(totList) / float64(nLists))
+	} else {
+		g.Props.DegreeSkew = 1
+	}
+
+	for _, op := range g.Ops {
+		op.DedupEdges()
+	}
+
+	// Coarse-grained chains: the real operations per key, in timestamp
+	// order; ND ops form singleton chains of their own.
+	for i := range b.shards {
+		s := &b.shards[i]
+		for _, l := range s.m {
+			var chain []*txn.Operation
+			for _, e := range l.entries {
+				if e.kind == real {
+					chain = append(chain, e.op)
+				}
+			}
+			if len(chain) > 0 {
+				g.Chains = append(g.Chains, chain)
+			}
+		}
+	}
+	for _, op := range b.ndOps {
+		g.Chains = append(g.Chains, []*txn.Operation{op})
+	}
+	return g
+}
+
+type shardStats struct {
+	td, pd           int
+	maxList, totList int
+	nLists           int
+}
+
+// deriveShard sorts every list of one shard and derives its TD/PD edges.
+func (b *Builder) deriveShard(s *listShard) shardStats {
+	var st shardStats
+	for _, l := range s.m {
+		entries := l.entries
+		sort.SliceStable(entries, func(i, j int) bool {
+			ti, tj := entries[i].op.TS(), entries[j].op.TS()
+			if ti != tj {
+				return ti < tj
+			}
+			return entries[i].op.ID < entries[j].op.ID
+		})
+		st.nLists++
+		st.totList += len(entries)
+		if len(entries) > st.maxList {
+			st.maxList = len(entries)
+		}
+
+		var lastChain *txn.Operation // last TD-chain participant (real or ndvo)
+		// writes retains (ts, op) of every real write, for window PDs.
+		type writeAt struct {
+			ts uint64
+			op *txn.Operation
+		}
+		var writes []writeAt
+		// lastWriteBefore returns the latest write with ts strictly below
+		// the given timestamp (writes of the same transaction share its
+		// timestamp, so they are naturally excluded).
+		lastWriteBefore := func(ts uint64) *txn.Operation {
+			i := sort.Search(len(writes), func(i int) bool { return writes[i].ts >= ts })
+			if i == 0 {
+				return nil
+			}
+			return writes[i-1].op
+		}
+
+		for _, e := range entries {
+			switch e.kind {
+			case real, ndvo:
+				if lastChain != nil && lastChain != e.op {
+					txn.AddEdge(lastChain, e.op)
+					if lastChain.Txn != e.op.Txn {
+						st.td++
+					}
+				}
+				lastChain = e.op
+				if e.op.IsWrite() && e.kind == real {
+					writes = append(writes, writeAt{e.op.TS(), e.op})
+				}
+			case vo:
+				if e.window > 0 {
+					// A window source depends on every write inside
+					// [ts-window, ts): any of them aborting must redo the
+					// window operation.
+					lo := uint64(0)
+					if e.op.TS() > e.window {
+						lo = e.op.TS() - e.window
+					}
+					i := sort.Search(len(writes), func(i int) bool { return writes[i].ts >= lo })
+					for ; i < len(writes) && writes[i].ts < e.op.TS(); i++ {
+						if writes[i].op.Txn != e.op.Txn {
+							txn.AddEdge(writes[i].op, e.op)
+							st.pd++
+						}
+					}
+				} else if w := lastWriteBefore(e.op.TS()); w != nil {
+					txn.AddEdge(w, e.op)
+					st.pd++
+				}
+			}
+		}
+	}
+	return st
+}
+
+// String summarises the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("tpg.Graph{txns: %d, ops: %d, TD: %d, PD: %d, LD: %d}",
+		g.Props.NumTxns, g.Props.NumOps, g.Props.NumTD, g.Props.NumPD, g.Props.NumLD)
+}

@@ -1,0 +1,86 @@
+package txn
+
+import "sync/atomic"
+
+// opIDs hands out globally unique operation IDs; edge deduplication and
+// deterministic intra-unit ordering rely on them.
+var opIDs atomic.Int64
+
+// NextOpID returns a fresh operation ID.
+func NextOpID() int64 { return opIDs.Add(1) }
+
+// Builder offers the system-provided APIs of paper Table 5 for composing a
+// state transaction inside STATE_ACCESS. Each call appends one atomic
+// state-access operation to the transaction.
+type Builder struct {
+	t *Transaction
+}
+
+// Build wraps an existing transaction for composition.
+func Build(t *Transaction) *Builder { return &Builder{t: t} }
+
+// Read issues a read request for key d; the result is stored in the blotter
+// through fn for post-processing.
+//
+//	READ(Key d, EventBlotter eb)
+func (b *Builder) Read(d Key, fn ReadFn) *Operation {
+	op := &Operation{ID: NextOpID(), Kind: OpRead, Key: d, ReadFn: fn}
+	b.t.AddOp(op)
+	return op
+}
+
+// Write issues a write request so that state(d) is updated with f applied to
+// state(srcs...); srcs induce parametric dependencies.
+//
+//	WRITE(Key d, Fun f*(Keys s...n))
+func (b *Builder) Write(d Key, srcs []Key, f WriteFn) *Operation {
+	op := &Operation{ID: NextOpID(), Kind: OpWrite, Key: d, SrcKeys: srcs, WriteFn: f}
+	b.t.AddOp(op)
+	return op
+}
+
+// WindowRead issues a window read applying winf to the versions of key d
+// within the past size units of event time.
+//
+//	READ(WindowFun win_f*(Key d, Size t), EventBlotter eb)
+func (b *Builder) WindowRead(d Key, size uint64, winf WindowFn) *Operation {
+	op := &Operation{
+		ID: NextOpID(), Kind: OpWindowRead, Key: d,
+		SrcKeys: []Key{d}, Window: size, WindowFn: winf,
+	}
+	b.t.AddOp(op)
+	return op
+}
+
+// WindowWrite updates state(d) with winf applied to the in-window versions
+// of srcs; this request implies a data (parametric) dependency.
+//
+//	WRITE(Key d, WindowFun win_f*(Keys s...n, Size t))
+func (b *Builder) WindowWrite(d Key, srcs []Key, size uint64, winf WindowFn) *Operation {
+	op := &Operation{
+		ID: NextOpID(), Kind: OpWindowWrite, Key: d,
+		SrcKeys: srcs, Window: size, WindowFn: winf,
+	}
+	b.t.AddOp(op)
+	return op
+}
+
+// NDRead issues a non-deterministic read on a key determined by keyf.
+//
+//	READ(Fun f*, EventBlotter eb)
+func (b *Builder) NDRead(keyf KeyFn, fn ReadFn) *Operation {
+	op := &Operation{ID: NextOpID(), Kind: OpNDRead, KeyFn: keyf, ReadFn: fn}
+	b.t.AddOp(op)
+	return op
+}
+
+// NDWrite issues a non-deterministic write whose target key is determined by
+// keyf and whose value is computed by valf from the values of srcs (srcs may
+// be empty when the value is self-contained).
+//
+//	WRITE(Fun f1*, Fun f2*)
+func (b *Builder) NDWrite(keyf KeyFn, srcs []Key, valf WriteFn) *Operation {
+	op := &Operation{ID: NextOpID(), Kind: OpNDWrite, KeyFn: keyf, SrcKeys: srcs, WriteFn: valf}
+	b.t.AddOp(op)
+	return op
+}

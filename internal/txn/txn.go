@@ -1,0 +1,338 @@
+// Package txn defines the state-access operation and state-transaction model
+// of MorphStream (paper Section 2.1.1). A state transaction is the set of
+// state-access operations triggered by one input tuple; all of them share the
+// transaction's timestamp. Operations carry the four-state FSM annotation of
+// the S-TPG (Section 6.1) and the dependency edges of the TPG (Section 2.1.2).
+package txn
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"morphstream/internal/store"
+)
+
+// Key and Value alias the store's types for convenience.
+type (
+	Key   = store.Key
+	Value = store.Value
+)
+
+// ErrAbort is the sentinel a UDF returns to abort its transaction, e.g. a
+// transfer against an insufficient balance. Any other error also aborts,
+// but ErrAbort marks business-rule aborts in tests and stats.
+var ErrAbort = errors.New("txn: state transaction aborted")
+
+// OpKind discriminates the operation flavours of paper Table 5.
+type OpKind int8
+
+const (
+	// OpRead reads one key and hands the value to the blotter.
+	OpRead OpKind = iota
+	// OpWrite writes target = f(sources...), a parametric dependency when
+	// sources are non-empty.
+	OpWrite
+	// OpWindowRead aggregates the versions of one key inside a window.
+	OpWindowRead
+	// OpWindowWrite writes target = winf(versions of sources within window).
+	OpWindowWrite
+	// OpNDRead reads a key resolved by a UDF at execution time.
+	OpNDRead
+	// OpNDWrite writes to a key resolved by a UDF at execution time.
+	OpNDWrite
+)
+
+// String names the kind for logs and tests.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpWindowRead:
+		return "window-read"
+	case OpWindowWrite:
+		return "window-write"
+	case OpNDRead:
+		return "nd-read"
+	case OpNDWrite:
+		return "nd-write"
+	default:
+		return "unknown"
+	}
+}
+
+// OpState is the FSM annotation of one S-TPG vertex (paper Table 3).
+type OpState int32
+
+const (
+	// BLK: not ready to schedule, dependencies unresolved.
+	BLK OpState = iota
+	// RDY: all dependencies resolved, ready to schedule.
+	RDY
+	// EXE: successfully processed.
+	EXE
+	// ABT: aborted, either by its own failure or a logical dependent's.
+	ABT
+)
+
+// String names the state.
+func (s OpState) String() string {
+	switch s {
+	case BLK:
+		return "BLK"
+	case RDY:
+		return "RDY"
+	case EXE:
+		return "EXE"
+	case ABT:
+		return "ABT"
+	}
+	return "?"
+}
+
+// Ctx is handed to UDFs during execution. It exposes the blotter for
+// passing state-access results to post-processing, and the resolved
+// timestamp for window computations.
+type Ctx struct {
+	TS      uint64
+	Blotter *EventBlotter
+}
+
+// UDF signatures. Write functions receive the current values of the
+// operation's source keys in declaration order; window functions receive the
+// in-window versions of each source key.
+type (
+	// ReadFn consumes the value produced by a read-flavoured operation.
+	ReadFn func(ctx *Ctx, v Value) error
+	// WriteFn computes the value to write from the source values.
+	WriteFn func(ctx *Ctx, src []Value) (Value, error)
+	// WindowFn computes a value from the versions of each source key that
+	// fall inside the operation's window (outer slice parallels SrcKeys).
+	WindowFn func(ctx *Ctx, src [][]store.Version) (Value, error)
+	// KeyFn resolves the key of a non-deterministic access at run time.
+	KeyFn func(ctx *Ctx) (Key, error)
+)
+
+// Operation is one vertex of the TPG: a single read or write of shared
+// mutable state (paper Definition in Section 2.1.1).
+type Operation struct {
+	ID   int64
+	Kind OpKind
+	Txn  *Transaction
+
+	// Key is the target state. For ND operations it is empty until
+	// execution resolves it through KeyFn.
+	Key Key
+	// SrcKeys are the states the write value is computed from; they induce
+	// parametric dependencies.
+	SrcKeys []Key
+	// Window is the event-time window size for window operations.
+	Window uint64
+
+	ReadFn   ReadFn
+	WriteFn  WriteFn
+	WindowFn WindowFn
+	KeyFn    KeyFn
+
+	// state is the FSM annotation, accessed atomically.
+	state atomic.Int32
+
+	// edgeMu guards parents/children during parallel TPG construction.
+	edgeMu   sync.Mutex
+	parents  []*Operation
+	children []*Operation
+
+	// written records that this operation installed a version at
+	// (WrittenKey, Txn.TS); rollback removes exactly that version. ND
+	// writes resolve WrittenKey at execution time.
+	written    atomic.Bool
+	WrittenKey Key
+
+	// resolvedKey caches the ND key resolution for deterministic rollback
+	// (paper Section 6.5.2: accessed states are recorded in the S-TPG).
+	resolvedKey Key
+}
+
+// TS returns the operation's timestamp: that of its transaction.
+func (o *Operation) TS() uint64 { return o.Txn.TS }
+
+// State reads the FSM annotation.
+func (o *Operation) State() OpState { return OpState(o.state.Load()) }
+
+// SetState stores the FSM annotation.
+func (o *Operation) SetState(s OpState) { o.state.Store(int32(s)) }
+
+// CASState transitions from to only if the current state matches.
+func (o *Operation) CASState(from, to OpState) bool {
+	return o.state.CompareAndSwap(int32(from), int32(to))
+}
+
+// IsWrite reports whether the kind installs versions.
+func (o *Operation) IsWrite() bool {
+	return o.Kind == OpWrite || o.Kind == OpWindowWrite || o.Kind == OpNDWrite
+}
+
+// IsND reports whether the target key is resolved at execution time.
+func (o *Operation) IsND() bool { return o.Kind == OpNDRead || o.Kind == OpNDWrite }
+
+// AddEdge links parent -> child, recording the temporal or parametric
+// dependency "child depends on parent". Safe for concurrent use; duplicates
+// are removed by DedupEdges.
+func AddEdge(parent, child *Operation) {
+	if parent == child {
+		return
+	}
+	parent.edgeMu.Lock()
+	parent.children = append(parent.children, child)
+	parent.edgeMu.Unlock()
+	child.edgeMu.Lock()
+	child.parents = append(child.parents, parent)
+	child.edgeMu.Unlock()
+}
+
+// Parents returns the dependency sources of o. Only safe after construction
+// has finished.
+func (o *Operation) Parents() []*Operation { return o.parents }
+
+// Children returns the operations depending on o.
+func (o *Operation) Children() []*Operation { return o.children }
+
+// DedupEdges sorts and deduplicates both edge lists by operation ID.
+func (o *Operation) DedupEdges() {
+	o.parents = dedup(o.parents)
+	o.children = dedup(o.children)
+}
+
+func dedup(ops []*Operation) []*Operation {
+	if len(ops) < 2 {
+		return ops
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].ID < ops[j].ID })
+	out := ops[:1]
+	for _, op := range ops[1:] {
+		if op != out[len(out)-1] {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// MarkWritten records that the operation installed a version at key k.
+func (o *Operation) MarkWritten(k Key) {
+	o.WrittenKey = k
+	o.written.Store(true)
+}
+
+// Written reports whether the operation currently has a version installed,
+// and at which key.
+func (o *Operation) Written() (Key, bool) {
+	return o.WrittenKey, o.written.Load()
+}
+
+// ClearWritten resets the write record after rollback.
+func (o *Operation) ClearWritten() { o.written.Store(false) }
+
+// SetResolvedKey records the run-time key of an ND operation.
+func (o *Operation) SetResolvedKey(k Key) { o.resolvedKey = k }
+
+// ResolvedKey returns the recorded ND key.
+func (o *Operation) ResolvedKey() Key { return o.resolvedKey }
+
+// Transaction is one state transaction: the operations triggered by a single
+// input event, sharing its timestamp (Section 2.1.1). Its identity also
+// carries the logical-dependency group: aborting one operation aborts all.
+type Transaction struct {
+	ID  int64
+	TS  uint64
+	Ops []*Operation
+
+	// Blotter carries results between state access and post-processing.
+	Blotter *EventBlotter
+
+	// Group tags the transaction for nested (per-group) scheduling
+	// strategies (paper Section 8.2.3). Zero is the default group.
+	Group int
+
+	// aborted is latched once the transaction fails; selfFailed
+	// distinguishes "my own UDF failed" from cascading logical aborts so
+	// rollback can un-abort cascades and recompute their decision.
+	aborted    atomic.Bool
+	selfFailed atomic.Bool
+}
+
+// NewTransaction allocates an empty transaction with a fresh blotter.
+func NewTransaction(id int64, ts uint64) *Transaction {
+	return &Transaction{ID: id, TS: ts, Blotter: NewEventBlotter()}
+}
+
+// AddOp appends an operation, wiring it to the transaction.
+func (t *Transaction) AddOp(op *Operation) {
+	op.Txn = t
+	t.Ops = append(t.Ops, op)
+}
+
+// Aborted reports the latched abort flag.
+func (t *Transaction) Aborted() bool { return t.aborted.Load() }
+
+// MarkAborted latches the abort flag; self says the transaction's own UDF
+// failed (as opposed to a cascading un-abortable decision).
+func (t *Transaction) MarkAborted(self bool) {
+	t.aborted.Store(true)
+	if self {
+		t.selfFailed.Store(true)
+	}
+}
+
+// SelfFailed reports whether the transaction's own UDF failed.
+func (t *Transaction) SelfFailed() bool { return t.selfFailed.Load() }
+
+// ResetAbort clears the abort latch so a cascade-aborted transaction can be
+// re-decided after upstream rollback.
+func (t *Transaction) ResetAbort() {
+	t.aborted.Store(false)
+	t.selfFailed.Store(false)
+}
+
+// EventBlotter is the thread-local auxiliary structure bridging the stream
+// processing phase and the transaction processing phase (paper Section 7.1).
+// Pre-processing parses parameters into it; state access deposits results;
+// post-processing consumes them.
+type EventBlotter struct {
+	mu sync.Mutex
+	// Params holds values extracted by pre-processing (read/write sets etc).
+	Params map[string]Value
+	// results holds state-access results in arrival order.
+	results []Value
+}
+
+// NewEventBlotter returns an empty blotter.
+func NewEventBlotter() *EventBlotter {
+	return &EventBlotter{Params: make(map[string]Value)}
+}
+
+// AddResult appends a state-access result. Operations of the same
+// transaction may execute on different threads, hence the lock.
+func (b *EventBlotter) AddResult(v Value) {
+	b.mu.Lock()
+	b.results = append(b.results, v)
+	b.mu.Unlock()
+}
+
+// Results returns the accumulated state-access results.
+func (b *EventBlotter) Results() []Value {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Value, len(b.results))
+	copy(out, b.results)
+	return out
+}
+
+// Reset clears results (kept for redo after rollback).
+func (b *EventBlotter) Reset() {
+	b.mu.Lock()
+	b.results = b.results[:0]
+	b.mu.Unlock()
+}

@@ -1,0 +1,198 @@
+package txn
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestOpKindString(t *testing.T) {
+	kinds := map[OpKind]string{
+		OpRead: "read", OpWrite: "write",
+		OpWindowRead: "window-read", OpWindowWrite: "window-write",
+		OpNDRead: "nd-read", OpNDWrite: "nd-write",
+		OpKind(99): "unknown",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("OpKind(%d).String() = %q; want %q", k, got, want)
+		}
+	}
+}
+
+func TestOpStateString(t *testing.T) {
+	states := map[OpState]string{BLK: "BLK", RDY: "RDY", EXE: "EXE", ABT: "ABT", OpState(9): "?"}
+	for s, want := range states {
+		if got := s.String(); got != want {
+			t.Errorf("OpState(%d).String() = %q; want %q", s, got, want)
+		}
+	}
+}
+
+func TestFSMTransitions(t *testing.T) {
+	tx := NewTransaction(1, 10)
+	op := &Operation{ID: 1}
+	tx.AddOp(op)
+
+	if op.State() != BLK {
+		t.Fatalf("initial state = %v; want BLK", op.State())
+	}
+	if !op.CASState(BLK, RDY) {
+		t.Fatal("T1 BLK->RDY failed")
+	}
+	if op.CASState(BLK, EXE) {
+		t.Fatal("CAS from wrong state succeeded")
+	}
+	op.SetState(EXE)
+	if op.State() != EXE {
+		t.Fatalf("state = %v; want EXE", op.State())
+	}
+	op.SetState(ABT)
+	if op.State() != ABT {
+		t.Fatalf("state = %v; want ABT", op.State())
+	}
+	if op.TS() != 10 {
+		t.Fatalf("TS = %d; want 10", op.TS())
+	}
+}
+
+func TestAddEdgeAndDedup(t *testing.T) {
+	tx := NewTransaction(1, 1)
+	a := &Operation{ID: 1}
+	b := &Operation{ID: 2}
+	tx.AddOp(a)
+	tx.AddOp(b)
+
+	AddEdge(a, b)
+	AddEdge(a, b) // duplicate
+	AddEdge(a, a) // self edge ignored
+	a.DedupEdges()
+	b.DedupEdges()
+
+	if len(a.Children()) != 1 || a.Children()[0] != b {
+		t.Fatalf("children = %v", a.Children())
+	}
+	if len(b.Parents()) != 1 || b.Parents()[0] != a {
+		t.Fatalf("parents = %v", b.Parents())
+	}
+}
+
+func TestConcurrentAddEdge(t *testing.T) {
+	hub := &Operation{ID: 0}
+	var wg sync.WaitGroup
+	const n = 64
+	ops := make([]*Operation, n)
+	for i := range ops {
+		ops[i] = &Operation{ID: int64(i + 1)}
+	}
+	for _, op := range ops {
+		wg.Add(1)
+		go func(op *Operation) {
+			defer wg.Done()
+			AddEdge(hub, op)
+		}(op)
+	}
+	wg.Wait()
+	hub.DedupEdges()
+	if len(hub.Children()) != n {
+		t.Fatalf("children = %d; want %d", len(hub.Children()), n)
+	}
+}
+
+func TestAbortLatchAndReset(t *testing.T) {
+	tx := NewTransaction(1, 1)
+	if tx.Aborted() || tx.SelfFailed() {
+		t.Fatal("fresh transaction marked aborted")
+	}
+	tx.MarkAborted(false)
+	if !tx.Aborted() || tx.SelfFailed() {
+		t.Fatal("cascade abort should not set selfFailed")
+	}
+	tx.ResetAbort()
+	tx.MarkAborted(true)
+	if !tx.Aborted() || !tx.SelfFailed() {
+		t.Fatal("self abort should set both flags")
+	}
+	tx.ResetAbort()
+	if tx.Aborted() || tx.SelfFailed() {
+		t.Fatal("ResetAbort did not clear flags")
+	}
+}
+
+func TestWrittenRecord(t *testing.T) {
+	op := &Operation{ID: 1}
+	if _, ok := op.Written(); ok {
+		t.Fatal("fresh op reports written")
+	}
+	op.MarkWritten("k1")
+	k, ok := op.Written()
+	if !ok || k != "k1" {
+		t.Fatalf("Written = %q, %v", k, ok)
+	}
+	op.ClearWritten()
+	if _, ok := op.Written(); ok {
+		t.Fatal("ClearWritten did not clear")
+	}
+}
+
+func TestBlotter(t *testing.T) {
+	b := NewEventBlotter()
+	b.Params["amount"] = int64(7)
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b.AddResult(int64(i))
+		}(i)
+	}
+	wg.Wait()
+	if got := len(b.Results()); got != 10 {
+		t.Fatalf("results = %d; want 10", got)
+	}
+	b.Reset()
+	if got := len(b.Results()); got != 0 {
+		t.Fatalf("results after reset = %d; want 0", got)
+	}
+}
+
+func TestBuilderComposesAllKinds(t *testing.T) {
+	tx := NewTransaction(1, 5)
+	b := Build(tx)
+	b.Read("a", nil)
+	b.Write("b", []Key{"a"}, nil)
+	b.WindowRead("c", 100, nil)
+	b.WindowWrite("d", []Key{"c"}, 50, nil)
+	b.NDRead(nil, nil)
+	b.NDWrite(nil, nil, nil)
+
+	if len(tx.Ops) != 6 {
+		t.Fatalf("ops = %d; want 6", len(tx.Ops))
+	}
+	wantKinds := []OpKind{OpRead, OpWrite, OpWindowRead, OpWindowWrite, OpNDRead, OpNDWrite}
+	seen := map[int64]bool{}
+	for i, op := range tx.Ops {
+		if op.Kind != wantKinds[i] {
+			t.Errorf("op[%d].Kind = %v; want %v", i, op.Kind, wantKinds[i])
+		}
+		if op.Txn != tx {
+			t.Errorf("op[%d] not wired to txn", i)
+		}
+		if seen[op.ID] {
+			t.Errorf("duplicate op ID %d", op.ID)
+		}
+		seen[op.ID] = true
+	}
+	// WindowRead sources itself; Write records its parametric sources.
+	if got := tx.Ops[2].SrcKeys; len(got) != 1 || got[0] != "c" {
+		t.Errorf("window read SrcKeys = %v", got)
+	}
+	if got := tx.Ops[1].SrcKeys; len(got) != 1 || got[0] != "a" {
+		t.Errorf("write SrcKeys = %v", got)
+	}
+	if !tx.Ops[1].IsWrite() || tx.Ops[0].IsWrite() {
+		t.Error("IsWrite misclassifies")
+	}
+	if !tx.Ops[4].IsND() || tx.Ops[3].IsND() {
+		t.Error("IsND misclassifies")
+	}
+}

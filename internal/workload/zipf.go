@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples key indexes 0..n-1 with probability proportional to
+// 1/(i+1)^theta. Unlike math/rand's Zipf it accepts the paper's skew range
+// theta ∈ [0, 1] (0 = uniform, 1 = classic Zipf), matching the "Zipf skew
+// factor" axis of Fig. 18b.
+type Zipf struct {
+	rng *rand.Rand
+	cdf []float64
+}
+
+// NewZipf builds a sampler over n keys with skew theta.
+func NewZipf(rng *rand.Rand, n int, theta float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{rng: rng, cdf: cdf}
+}
+
+// Next draws one key index.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}

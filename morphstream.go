@@ -1,0 +1,130 @@
+// Package morphstream is the public API of the MorphStream transactional
+// stream processing engine (TSPE) — a from-scratch Go implementation of
+// "MorphStream: Scalable Processing of Transactions over Streams on
+// Multicores" (Mao et al., ICDE 2024 / arXiv:2307.12749).
+//
+// A MorphStream application expresses each operator as three steps
+// (paper Section 7.1): PREPROCESS parses an input event into an
+// EventBlotter, STATE_ACCESS composes one state transaction from the
+// system-provided READ/WRITE APIs (including windowed and non-deterministic
+// variants), and POSTPROCESS consumes the state-access results once the
+// transaction committed or aborted.
+//
+// Internally the engine follows the paper's three-stage execution paradigm:
+//
+//   - Planning: a two-phase Task Precedence Graph (TPG) construction tracks
+//     temporal, parametric and logical dependencies of each batch, tolerating
+//     out-of-order arrival, windowed state and non-deterministic access.
+//   - Scheduling: a heuristic decision model picks an exploration strategy
+//     (structured BFS/DFS or non-structured), a scheduling-unit granularity
+//     (per-operation or per-chain) and an abort handling mode (eager/lazy)
+//     per batch, per scheduling group.
+//   - Execution: a stateful TPG with per-operation finite-state-machine
+//     annotations runs on a multi-versioning state table with precise
+//     rollback and redo.
+//
+// Quickstart:
+//
+//	eng := morphstream.New(morphstream.Config{Threads: 4, Cleanup: true})
+//	eng.Table().Preload("alice", int64(100))
+//	eng.Table().Preload("bob", int64(100))
+//	op := morphstream.OperatorFuncs{ ... }
+//	eng.Submit(op, &morphstream.Event{Data: transfer})
+//	res := eng.Punctuate() // process the batch
+//
+// See examples/ for complete programs.
+package morphstream
+
+import (
+	"morphstream/internal/engine"
+	"morphstream/internal/sched"
+	"morphstream/internal/store"
+	"morphstream/internal/txn"
+)
+
+// Core value types.
+type (
+	// Key identifies one shared mutable state entry.
+	Key = txn.Key
+	// Value is the content of one state version.
+	Value = txn.Value
+	// Version is a timestamped state copy from the multi-version table.
+	Version = store.Version
+	// StateTable is the shared multi-versioning state table.
+	StateTable = store.Table
+)
+
+// Programming model types (paper Tables 4 and 5).
+type (
+	// Event is one input tuple.
+	Event = engine.Event
+	// EventBlotter bridges pre-processing, state access and
+	// post-processing for one event.
+	EventBlotter = txn.EventBlotter
+	// TxnBuilder exposes the system-provided state access APIs: Read,
+	// Write, WindowRead, WindowWrite, NDRead, NDWrite.
+	TxnBuilder = txn.Builder
+	// Ctx is handed to user-defined functions during execution.
+	Ctx = txn.Ctx
+	// Operator is the three-step operator interface.
+	Operator = engine.Operator
+	// OperatorFuncs adapts plain functions to Operator.
+	OperatorFuncs = engine.OperatorFuncs
+)
+
+// UDF signatures.
+type (
+	// ReadFn consumes a read result.
+	ReadFn = txn.ReadFn
+	// WriteFn computes a write value from source-state values.
+	WriteFn = txn.WriteFn
+	// WindowFn aggregates in-window versions of the source states.
+	WindowFn = txn.WindowFn
+	// KeyFn resolves a non-deterministic state key at execution time.
+	KeyFn = txn.KeyFn
+)
+
+// ErrAbort aborts the surrounding state transaction when returned from a
+// UDF (e.g. a transfer over an insufficient balance).
+var ErrAbort = txn.ErrAbort
+
+// NewEventBlotter returns an empty blotter for PreProcess implementations.
+func NewEventBlotter() *EventBlotter { return txn.NewEventBlotter() }
+
+// Scheduling decision space (paper Section 5). Pin a Decision in Config to
+// bypass the adaptive decision model; leave it nil to let the model morph
+// the strategy per batch.
+type (
+	// Decision is one point in the three-dimensional scheduling space.
+	Decision = sched.Decision
+	// Explore selects the TPG traversal strategy.
+	Explore = sched.Explore
+	// Granularity selects the scheduling-unit size.
+	Granularity = sched.Granularity
+	// AbortMode selects eager or lazy abort handling.
+	AbortMode = sched.AbortMode
+)
+
+// Scheduling decision constants.
+const (
+	SExploreBFS = sched.SExploreBFS
+	SExploreDFS = sched.SExploreDFS
+	NSExplore   = sched.NSExplore
+	FSchedule   = sched.FSchedule
+	CSchedule   = sched.CSchedule
+	EAbort      = sched.EAbort
+	LAbort      = sched.LAbort
+)
+
+// Engine types.
+type (
+	// Config parameterises an Engine.
+	Config = engine.Config
+	// Engine is a MorphStream instance.
+	Engine = engine.Engine
+	// BatchResult reports one punctuation's processing.
+	BatchResult = engine.BatchResult
+)
+
+// New creates an engine over a fresh state table.
+func New(cfg Config) *Engine { return engine.New(cfg) }
