@@ -135,6 +135,122 @@ func BenchmarkStoreWindowRead(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreReadWrite interleaves one write and one read per iteration
+// over a 64k-key working set — the datastore call pattern of the Fig. 11
+// hot path (every operation resolves its key, then touches the table).
+// "string" goes through the compatibility wrapper, "interned" through the
+// dense-ID hot path with keys resolved once up front (as the engine does at
+// transaction build time). The "populate" variants measure first-touch
+// writes (per-batch temporal-object churn): a fresh table every 64k ops.
+func BenchmarkStoreReadWrite(b *testing.B) {
+	const nKeys = 1 << 16
+	keys := make([]store.Key, nKeys)
+	ids := make([]store.KeyID, nKeys)
+	for i := range keys {
+		keys[i] = workload.KeyName(i)
+		ids[i] = store.Intern(keys[i])
+	}
+	var v store.Value = int64(7)
+
+	b.Run("string", func(b *testing.B) {
+		t := store.NewTable()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			k := keys[i&(nKeys-1)]
+			t.Write(k, uint64(i+1), v)
+			t.Read(k, uint64(i+2))
+		}
+	})
+	b.Run("interned", func(b *testing.B) {
+		t := store.NewTable()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			id := ids[i&(nKeys-1)]
+			t.WriteID(id, uint64(i+1), v)
+			t.ReadID(id, uint64(i+2))
+		}
+	})
+	b.Run("populate", func(b *testing.B) {
+		var t *store.Table
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			j := i & (nKeys - 1)
+			if j == 0 {
+				t = store.NewTable()
+			}
+			t.Write(keys[j], 1, v)
+			t.Read(keys[j], 2)
+		}
+	})
+	b.Run("populate-interned", func(b *testing.B) {
+		var t *store.Table
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			j := i & (nKeys - 1)
+			if j == 0 {
+				t = store.NewTable()
+			}
+			t.WriteID(ids[j], 1, v)
+			t.ReadID(ids[j], 2)
+		}
+	})
+}
+
+// BenchmarkTPGFinalize measures TPG construction alone — per-key list
+// insertion, sorting, and TD/PD edge derivation — by rebuilding the graph
+// of one fixed batch. Construction is idempotent on the same transactions,
+// so no per-iteration materialisation pollutes the numbers. "fresh" builds
+// a throwaway planner per batch (what the seed engine did); "steady" reuses
+// one planner via Reset, the engine's steady-state punctuation loop.
+func BenchmarkTPGFinalize(b *testing.B) {
+	cfg := workload.DefaultGS()
+	cfg.Txns = 2048
+	cfg.StateSize = 512
+	cfg.ComplexityUS = 0
+	batch := workload.GS(cfg)
+	txns, table := batch.Materialize()
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			builder := tpg.NewBuilder(table.Keys)
+			builder.AddTxns(txns, 2)
+			builder.Finalize(2)
+		}
+	})
+	b.Run("steady", func(b *testing.B) {
+		builder := tpg.NewBuilder(table.Keys)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			builder.Reset()
+			builder.AddTxns(txns, 2)
+			builder.Finalize(2)
+		}
+	})
+}
+
+// BenchmarkBuildUnits measures scheduling-unit materialisation (including
+// the SCC merge under c-schedule) on a fixed finalized graph.
+func BenchmarkBuildUnits(b *testing.B) {
+	cfg := workload.DefaultGS()
+	cfg.Txns = 2048
+	cfg.StateSize = 512
+	cfg.ComplexityUS = 0
+	batch := workload.GS(cfg)
+	txns, table := batch.Materialize()
+	builder := tpg.NewBuilder(table.Keys)
+	builder.AddTxns(txns, 2)
+	graph := builder.Finalize(2)
+	for _, gran := range []sched.Granularity{sched.FSchedule, sched.CSchedule} {
+		b.Run(gran.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sched.BuildUnits(graph, gran)
+			}
+		})
+	}
+}
+
 // BenchmarkTPGConstruction measures the Planning stage alone (two-phase
 // TPG construction, Table 2's construct overhead).
 func BenchmarkTPGConstruction(b *testing.B) {

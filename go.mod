@@ -1,0 +1,3 @@
+module morphstream
+
+go 1.24

@@ -158,7 +158,7 @@ func (e *Engine) Batches() int { return e.batches }
 func (e *Engine) groupOf(id int) *group {
 	g := e.groups[id]
 	if g == nil {
-		g = &group{builder: tpg.NewBuilder(e.table.Keys)}
+		g = &group{builder: tpg.NewBuilderIDs(e.table.KeyIDs)}
 		e.groups[id] = g
 	}
 	return g
@@ -276,9 +276,20 @@ func (e *Engine) Punctuate() *BatchResult {
 		}
 	}
 
-	// Clean-up of temporal objects (Section 8.3.3).
+	// Clean-up of temporal objects (Section 8.3.3). Active group planners
+	// are reset, not discarded: the TPG builder retains its per-key lists
+	// and scratch buffers so steady-state planning is allocation-free.
+	// Groups idle for a whole punctuation are evicted, bounding memory by
+	// the live group working set rather than every group id ever seen.
 	e.cache = e.cache[:0]
-	e.groups = make(map[int]*group)
+	for id, g := range e.groups {
+		if g.txns == 0 {
+			delete(e.groups, id)
+			continue
+		}
+		g.builder.Reset()
+		g.txns = 0
+	}
 	if e.cfg.Cleanup {
 		e.table.Truncate(^uint64(0))
 	}

@@ -1,7 +1,7 @@
 package exec
 
 import (
-	"sort"
+	"slices"
 
 	"morphstream/internal/sched"
 	"morphstream/internal/txn"
@@ -63,13 +63,7 @@ func (ex *executor) handleAborts(failed []*txn.Operation) {
 	for t := range abortTxns {
 		abtOps = append(abtOps, t.Ops...)
 	}
-	sort.Slice(abtOps, func(i, j int) bool {
-		ti, tj := abtOps[i].TS(), abtOps[j].TS()
-		if ti != tj {
-			return ti < tj
-		}
-		return abtOps[i].ID < abtOps[j].ID
-	})
+	slices.SortFunc(abtOps, txn.CompareOps)
 	for _, o := range abtOps {
 		parents := append([]*txn.Operation(nil), o.Parents()...)
 		children := append([]*txn.Operation(nil), o.Children()...)
@@ -79,7 +73,7 @@ func (ex *executor) handleAborts(failed []*txn.Operation) {
 			}
 			for _, c := range children {
 				txn.AddEdge(p, c)
-				if pu, cu := ex.unitOf[p], ex.unitOf[c]; pu != nil && cu != nil {
+				if pu, cu := ex.unitOf[p.Index], ex.unitOf[c.Index]; pu != nil && cu != nil {
 					sched.LinkUnits(pu, cu)
 				}
 			}
@@ -96,8 +90,8 @@ func (ex *executor) handleAborts(failed []*txn.Operation) {
 	// version they installed and pin their operations at ABT.
 	for t := range abortTxns {
 		for _, op := range t.Ops {
-			if k, ok := op.Written(); ok {
-				ex.cfg.Table.Remove(k, t.TS)
+			if id, ok := op.WrittenID(); ok {
+				ex.cfg.Table.RemoveID(id, t.TS)
 				op.ClearWritten()
 			}
 			op.SetState(txn.ABT)
@@ -109,8 +103,8 @@ func (ex *executor) handleAborts(failed []*txn.Operation) {
 	for t := range resetTxns {
 		t.Blotter.Reset()
 		for _, op := range t.Ops {
-			if k, ok := op.Written(); ok {
-				ex.cfg.Table.Remove(k, t.TS)
+			if id, ok := op.WrittenID(); ok {
+				ex.cfg.Table.RemoveID(id, t.TS)
 				op.ClearWritten()
 			}
 			if op.State() == txn.EXE {

@@ -47,10 +47,11 @@ type Result struct {
 
 // executor carries the runtime state of one batch execution.
 type executor struct {
-	cfg    Config
-	g      *tpg.Graph
-	units  []*sched.Unit
-	unitOf map[*txn.Operation]*sched.Unit
+	cfg   Config
+	g     *tpg.Graph
+	units []*sched.Unit
+	// unitOf maps op.Index (dense per-batch) to the operation's unit.
+	unitOf []*sched.Unit
 	strata [][]*sched.Unit
 
 	// completed marks units whose operations are all settled; len == units.
@@ -90,12 +91,12 @@ func Run(g *tpg.Graph, cfg Config) Result {
 		cfg:       cfg,
 		g:         g,
 		units:     units,
-		unitOf:    make(map[*txn.Operation]*sched.Unit, len(g.Ops)),
+		unitOf:    make([]*sched.Unit, len(g.Ops)),
 		completed: make([]atomic.Bool, len(units)),
 	}
 	for _, u := range units {
 		for _, op := range u.Ops {
-			ex.unitOf[op] = u
+			ex.unitOf[op.Index] = u
 		}
 	}
 	for _, u := range units {
@@ -189,10 +190,21 @@ func parentsSettled(op *txn.Operation) bool {
 	return true
 }
 
+// scratch is the per-worker execution scratchpad: the Ctx handed to UDFs
+// and the source-value buffers are reused across operations instead of
+// being allocated per operation. The buffers handed to UDFs are only valid
+// for the duration of the call — MorphStream's operator contract already
+// requires results to go through the blotter, so nothing retains them.
+type scratch struct {
+	ctx    txn.Ctx
+	src    []txn.Value
+	winSrc [][]store.Version
+}
+
 // runOp executes a single operation against the state table. It returns
 // false when the operation's UDF failed and the transaction must abort.
 // The caller holds the execution read-gate.
-func (ex *executor) runOp(op *txn.Operation) bool {
+func (ex *executor) runOp(op *txn.Operation, sc *scratch) bool {
 	if op.Txn.Aborted() {
 		// A logical dependent already failed: settle as aborted (LD).
 		op.SetState(txn.ABT)
@@ -200,8 +212,8 @@ func (ex *executor) runOp(op *txn.Operation) bool {
 	}
 	op.CASState(txn.BLK, txn.RDY) // T1
 
-	ctx := &txn.Ctx{TS: op.TS(), Blotter: op.Txn.Blotter}
-	err := ex.apply(op, ctx)
+	sc.ctx = txn.Ctx{TS: op.TS(), Blotter: op.Txn.Blotter}
+	err := ex.apply(op, sc)
 	if err != nil {
 		op.SetState(txn.ABT) // T4
 		op.Txn.MarkAborted(true)
@@ -213,12 +225,15 @@ func (ex *executor) runOp(op *txn.Operation) bool {
 }
 
 // apply dispatches on the operation kind and performs the state access.
-func (ex *executor) apply(op *txn.Operation, ctx *txn.Ctx) error {
+// State-table calls go through the dense-ID hot path; only ND operations
+// resolve a string key (through KeyFn) at execution time.
+func (ex *executor) apply(op *txn.Operation, sc *scratch) error {
 	t := ex.cfg.Table
 	ts := op.TS()
+	ctx := &sc.ctx
 	switch op.Kind {
 	case txn.OpRead:
-		v, ok := t.Read(op.Key, ts)
+		v, ok := t.ReadID(op.KeyID, ts)
 		if !ok {
 			return txn.ErrAbort
 		}
@@ -229,7 +244,7 @@ func (ex *executor) apply(op *txn.Operation, ctx *txn.Ctx) error {
 		return nil
 
 	case txn.OpWrite:
-		src, err := ex.readSrcs(op, ts)
+		src, err := ex.readSrcs(op, ts, sc)
 		if err != nil {
 			return err
 		}
@@ -242,8 +257,8 @@ func (ex *executor) apply(op *txn.Operation, ctx *txn.Ctx) error {
 		} else if len(src) > 0 {
 			v = src[0]
 		}
-		t.Write(op.Key, ts, v)
-		op.MarkWritten(op.Key)
+		t.WriteID(op.KeyID, ts, v)
+		op.MarkWrittenID(op.KeyID)
 		return nil
 
 	case txn.OpWindowRead, txn.OpWindowWrite:
@@ -251,10 +266,11 @@ func (ex *executor) apply(op *txn.Operation, ctx *txn.Ctx) error {
 		if ts > op.Window {
 			lo = ts - op.Window
 		}
-		src := make([][]store.Version, len(op.SrcKeys))
-		for i, k := range op.SrcKeys {
-			src[i] = t.ReadRange(k, lo, ts)
+		src := sc.winSrc[:0]
+		for _, id := range op.SrcIDs {
+			src = append(src, t.ReadRangeID(id, lo, ts))
 		}
+		sc.winSrc = src
 		var v txn.Value
 		var err error
 		if op.WindowFn != nil {
@@ -264,8 +280,8 @@ func (ex *executor) apply(op *txn.Operation, ctx *txn.Ctx) error {
 			}
 		}
 		if op.Kind == txn.OpWindowWrite {
-			t.Write(op.Key, ts, v)
-			op.MarkWritten(op.Key)
+			t.WriteID(op.KeyID, ts, v)
+			op.MarkWrittenID(op.KeyID)
 		} else {
 			ctx.Blotter.AddResult(v)
 		}
@@ -276,11 +292,17 @@ func (ex *executor) apply(op *txn.Operation, ctx *txn.Ctx) error {
 		if err != nil {
 			return err
 		}
-		// Record the resolved state in the S-TPG for deterministic
-		// rollback (Section 6.5.2).
-		op.SetResolvedKey(k)
 		if op.Kind == txn.OpNDRead {
-			v, ok := t.Read(k, ts)
+			// Resolve without interning: a key the dictionary has never
+			// seen cannot exist in any table, and interning here would pin
+			// transient event-derived keys for the process lifetime.
+			id, ok := store.LookupID(k)
+			if !ok {
+				return txn.ErrAbort
+			}
+			// Record the resolved state in the S-TPG (Section 6.5.2).
+			op.SetResolvedID(id)
+			v, ok := t.ReadID(id, ts)
 			if !ok {
 				return txn.ErrAbort
 			}
@@ -290,7 +312,11 @@ func (ex *executor) apply(op *txn.Operation, ctx *txn.Ctx) error {
 			ctx.Blotter.AddResult(v)
 			return nil
 		}
-		src, err := ex.readSrcs(op, ts)
+		// ND write: the key is being created, so interning is the point.
+		// Record the resolved state for deterministic rollback.
+		id := store.Intern(k)
+		op.SetResolvedID(id)
+		src, err := ex.readSrcs(op, ts, sc)
 		if err != nil {
 			return err
 		}
@@ -301,25 +327,28 @@ func (ex *executor) apply(op *txn.Operation, ctx *txn.Ctx) error {
 				return err
 			}
 		}
-		t.Write(k, ts, v)
-		op.MarkWritten(k)
+		t.WriteID(id, ts, v)
+		op.MarkWrittenID(id)
 		return nil
 	}
 	return nil
 }
 
-func (ex *executor) readSrcs(op *txn.Operation, ts uint64) ([]txn.Value, error) {
-	if len(op.SrcKeys) == 0 {
+// readSrcs resolves the source values of a write into the worker's reused
+// scratch buffer; the result is only valid until the next operation runs.
+func (ex *executor) readSrcs(op *txn.Operation, ts uint64, sc *scratch) ([]txn.Value, error) {
+	if len(op.SrcIDs) == 0 {
 		return nil, nil
 	}
-	src := make([]txn.Value, len(op.SrcKeys))
-	for i, k := range op.SrcKeys {
-		v, ok := ex.cfg.Table.Read(k, ts)
+	src := sc.src[:0]
+	for _, id := range op.SrcIDs {
+		v, ok := ex.cfg.Table.ReadID(id, ts)
 		if !ok {
 			return nil, txn.ErrAbort
 		}
-		src[i] = v
+		src = append(src, v)
 	}
+	sc.src = src
 	return src, nil
 }
 

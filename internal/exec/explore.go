@@ -73,8 +73,9 @@ func (ex *executor) parallelStratum(stratum []*sched.Unit) {
 		threads = len(stratum)
 	}
 	if threads <= 1 {
+		var sc scratch
 		for _, u := range stratum {
-			ex.runUnitOps(u)
+			ex.runUnitOps(u, &sc)
 		}
 		return
 	}
@@ -84,12 +85,13 @@ func (ex *executor) parallelStratum(stratum []*sched.Unit) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var sc scratch
 			for {
 				i := int(idx.Add(1)) - 1
 				if i >= len(stratum) {
 					return
 				}
-				ex.runUnitOps(stratum[i])
+				ex.runUnitOps(stratum[i], &sc)
 			}
 		}()
 	}
@@ -101,13 +103,13 @@ func (ex *executor) parallelStratum(stratum []*sched.Unit) {
 // runUnitOps executes every unsettled operation of a unit in (ts, id)
 // order, ungated: BFS mutates scheduling state only at stratum barriers,
 // so no gate is needed while a stratum runs.
-func (ex *executor) runUnitOps(u *sched.Unit) {
+func (ex *executor) runUnitOps(u *sched.Unit, sc *scratch) {
 	for _, op := range u.Ops {
 		if settledOp(op) {
 			continue
 		}
 		sw := metrics.Start()
-		ok := ex.runOp(op)
+		ok := ex.runOp(op, sc)
 		sw.Stop(ex.cfg.Breakdown, metrics.Useful)
 		if !ok {
 			ex.recordFailure(op)
@@ -131,7 +133,7 @@ const (
 // gatedRun executes one operation under the read-gate. myEpoch >= 0 enables
 // stale-unit abandonment (ns-explore). Edge lists may be rewritten by the
 // abort handler, so the dependency check happens inside the gate too.
-func (ex *executor) gatedRun(op *txn.Operation, myEpoch int64) runStatus {
+func (ex *executor) gatedRun(op *txn.Operation, myEpoch int64, sc *scratch) runStatus {
 	ex.execGate.RLock()
 	if myEpoch >= 0 && ex.epoch.Load() != myEpoch {
 		ex.execGate.RUnlock()
@@ -149,7 +151,7 @@ func (ex *executor) gatedRun(op *txn.Operation, myEpoch int64) runStatus {
 		return runNotReady
 	}
 	sw := metrics.Start()
-	ok := ex.runOp(op)
+	ok := ex.runOp(op, sc)
 	sw.Stop(ex.cfg.Breakdown, metrics.Useful)
 	ex.execGate.RUnlock()
 	if !ok {
@@ -202,6 +204,7 @@ func (ex *executor) runDFS() {
 }
 
 func (ex *executor) dfsWorker(id, threads int) {
+	var sc scratch
 	for {
 		progressed := false
 		for i := id; i < len(ex.units); i += threads {
@@ -210,7 +213,7 @@ func (ex *executor) dfsWorker(id, threads int) {
 				if settledOp(op) {
 					continue
 				}
-				if ex.gatedRun(op, -1) == runDone {
+				if ex.gatedRun(op, -1, &sc) == runDone {
 					progressed = true
 				}
 			}
@@ -282,6 +285,7 @@ func (ex *executor) runNS() {
 }
 
 func (ex *executor) nsWorker() {
+	var sc scratch
 	for {
 		sw := metrics.Start()
 		u := ex.queue.pop()
@@ -295,7 +299,7 @@ func (ex *executor) nsWorker() {
 			if settledOp(op) {
 				continue
 			}
-			if ex.gatedRun(op, myEpoch) == runAbandon {
+			if ex.gatedRun(op, myEpoch, &sc) == runAbandon {
 				abandoned = true
 				break
 			}

@@ -1,7 +1,8 @@
 package exec
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"morphstream/internal/store"
 	"morphstream/internal/txn"
@@ -16,15 +17,16 @@ import (
 func Serial(txns []*txn.Transaction, table *store.Table) Result {
 	sorted := make([]*txn.Transaction, len(txns))
 	copy(sorted, txns)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].TS < sorted[j].TS })
+	slices.SortFunc(sorted, func(a, b *txn.Transaction) int { return cmp.Compare(a.TS, b.TS) })
 
 	res := Result{}
 	ex := &executor{cfg: Config{Table: table}}
+	var sc scratch
 	for _, t := range sorted {
 		failed := false
 		for _, op := range t.Ops {
-			ctx := &txn.Ctx{TS: op.TS(), Blotter: t.Blotter}
-			if err := ex.apply(op, ctx); err != nil {
+			sc.ctx = txn.Ctx{TS: op.TS(), Blotter: t.Blotter}
+			if err := ex.apply(op, &sc); err != nil {
 				failed = true
 				break
 			}
@@ -34,8 +36,8 @@ func Serial(txns []*txn.Transaction, table *store.Table) Result {
 		if failed {
 			// Atomic rollback of the transaction's own writes (LD).
 			for _, op := range t.Ops {
-				if k, ok := op.Written(); ok {
-					table.Remove(k, t.TS)
+				if id, ok := op.WrittenID(); ok {
+					table.RemoveID(id, t.TS)
 					op.ClearWritten()
 				}
 				op.SetState(txn.ABT)

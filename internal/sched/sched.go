@@ -9,7 +9,7 @@ package sched
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync/atomic"
 	"time"
 
@@ -146,6 +146,10 @@ func (u *Unit) Done() bool {
 // granularity. Under c-schedule, per-key chains whose unit-level dependency
 // graph is cyclic are merged into single units (paper Fig. 6); cyclic
 // reports whether any merge happened, which feeds the decision model.
+//
+// All intermediate structures are flat slices indexed by the operations'
+// dense per-batch Index (assigned by tpg.Builder.Finalize) and by unit
+// position — no pointer-keyed maps on this path.
 func BuildUnits(g *tpg.Graph, gran Granularity) (units []*Unit, cyclic bool) {
 	switch gran {
 	case FSchedule:
@@ -159,29 +163,29 @@ func BuildUnits(g *tpg.Graph, gran Granularity) (units []*Unit, cyclic bool) {
 			units = append(units, &Unit{Ops: chain})
 		}
 	}
-	unitOf := make(map[*txn.Operation]*Unit, len(g.Ops))
-	for _, u := range units {
+	// unitIdx maps op.Index -> position of the op's unit in units.
+	unitIdx := make([]int32, len(g.Ops))
+	for ui, u := range units {
 		for _, op := range u.Ops {
-			unitOf[op] = u
+			unitIdx[op.Index] = int32(ui)
 		}
 	}
-	// Raw unit edges from operation edges.
-	adj := make(map[*Unit]map[*Unit]struct{}, len(units))
-	for _, u := range units {
+	// Raw unit edges from operation edges, deduplicated per source unit.
+	adj := make([][]int32, len(units))
+	for ui, u := range units {
+		var cs []int32
 		for _, op := range u.Ops {
 			for _, c := range op.Children() {
-				cu := unitOf[c]
-				if cu == nil || cu == u {
-					continue
+				if ci := unitIdx[c.Index]; ci != int32(ui) {
+					cs = append(cs, ci)
 				}
-				m := adj[u]
-				if m == nil {
-					m = make(map[*Unit]struct{})
-					adj[u] = m
-				}
-				m[cu] = struct{}{}
 			}
 		}
+		if len(cs) > 1 {
+			slices.Sort(cs)
+			cs = slices.Compact(cs)
+		}
+		adj[ui] = cs
 	}
 
 	if gran == CSchedule {
@@ -191,65 +195,62 @@ func BuildUnits(g *tpg.Graph, gran Granularity) (units []*Unit, cyclic bool) {
 	for i, u := range units {
 		u.ID = i
 	}
-	for u, m := range adj {
-		for c := range m {
+	// Children come out sorted by ID because adj rows are sorted; parents
+	// come out sorted because the outer loop ascends.
+	for ui, cs := range adj {
+		u := units[ui]
+		for _, ci := range cs {
+			c := units[ci]
 			u.children = append(u.children, c)
 			c.parents = append(c.parents, u)
 		}
 	}
-	for _, u := range units {
-		sort.Slice(u.children, func(i, j int) bool { return u.children[i].ID < u.children[j].ID })
-		sort.Slice(u.parents, func(i, j int) bool { return u.parents[i].ID < u.parents[j].ID })
-	}
 	return units, cyclic
 }
 
-// mergeCycles runs Tarjan's SCC algorithm on the unit graph and merges every
-// non-trivial strongly connected component into a single unit whose
-// operations run in (ts, id) order — a topological order of any subset of the
-// TPG, since all operation edges respect it.
-func mergeCycles(units []*Unit, adj map[*Unit]map[*Unit]struct{}) ([]*Unit, map[*Unit]map[*Unit]struct{}, bool) {
-	index := make(map[*Unit]int, len(units))
-	low := make(map[*Unit]int, len(units))
-	onStack := make(map[*Unit]bool, len(units))
-	comp := make(map[*Unit]int, len(units))
-	var stack []*Unit
-	next, ncomp := 0, 0
+// mergeCycles runs Tarjan's SCC algorithm on the unit graph (adjacency by
+// unit position) and merges every non-trivial strongly connected component
+// into a single unit whose operations run in (ts, id) order.
+func mergeCycles(units []*Unit, adj [][]int32) ([]*Unit, [][]int32, bool) {
+	n := len(units)
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	comp := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var stack []int32
+	next, ncomp := int32(0), int32(0)
 
 	// Iterative Tarjan to survive deep chains.
 	type frame struct {
-		u    *Unit
-		succ []*Unit
-		i    int
+		u int32
+		i int
 	}
-	succOf := func(u *Unit) []*Unit {
-		m := adj[u]
-		out := make([]*Unit, 0, len(m))
-		for c := range m {
-			out = append(out, c)
-		}
-		return out
-	}
-	for _, root := range units {
-		if _, seen := index[root]; seen {
+	var frames []frame
+	for root := int32(0); root < int32(n); root++ {
+		if index[root] != unvisited {
 			continue
 		}
-		frames := []frame{{u: root, succ: succOf(root)}}
+		frames = append(frames[:0], frame{u: root})
 		index[root], low[root] = next, next
 		next++
 		stack = append(stack, root)
 		onStack[root] = true
 		for len(frames) > 0 {
 			f := &frames[len(frames)-1]
-			if f.i < len(f.succ) {
-				w := f.succ[f.i]
+			succ := adj[f.u]
+			if f.i < len(succ) {
+				w := succ[f.i]
 				f.i++
-				if _, seen := index[w]; !seen {
+				if index[w] == unvisited {
 					index[w], low[w] = next, next
 					next++
 					stack = append(stack, w)
 					onStack[w] = true
-					frames = append(frames, frame{u: w, succ: succOf(w)})
+					frames = append(frames, frame{u: w})
 				} else if onStack[w] && index[w] < low[f.u] {
 					low[f.u] = index[w]
 				}
@@ -279,81 +280,69 @@ func mergeCycles(units []*Unit, adj map[*Unit]map[*Unit]struct{}) ([]*Unit, map[
 		}
 	}
 
-	members := make([][]*Unit, ncomp)
-	for _, u := range units {
-		members[comp[u]] = append(members[comp[u]], u)
+	counts := make([]int32, ncomp)
+	for _, c := range comp {
+		counts[c]++
 	}
 	cyclic := false
 	merged := make([]*Unit, ncomp)
-	newOf := make(map[*Unit]*Unit, len(units))
-	for c, ms := range members {
-		if len(ms) == 1 {
-			merged[c] = ms[0]
-			newOf[ms[0]] = ms[0]
+	for ui, u := range units {
+		c := comp[ui]
+		if counts[c] == 1 {
+			merged[c] = u
 			continue
 		}
 		cyclic = true
-		nu := &Unit{}
-		for _, m := range ms {
-			nu.Ops = append(nu.Ops, m.Ops...)
-			newOf[m] = nu
+		nu := merged[c]
+		if nu == nil {
+			nu = &Unit{}
+			merged[c] = nu
 		}
-		sort.Slice(nu.Ops, func(i, j int) bool {
-			ti, tj := nu.Ops[i].TS(), nu.Ops[j].TS()
-			if ti != tj {
-				return ti < tj
-			}
-			return nu.Ops[i].ID < nu.Ops[j].ID
-		})
-		merged[c] = nu
+		nu.Ops = append(nu.Ops, u.Ops...)
+	}
+	for c, nu := range merged {
+		if counts[c] > 1 {
+			slices.SortFunc(nu.Ops, txn.CompareOps)
+		}
 	}
 
-	newAdj := make(map[*Unit]map[*Unit]struct{}, len(merged))
-	for u, m := range adj {
-		nu := newOf[u]
-		for c := range m {
-			nc := newOf[c]
-			if nu == nc {
-				continue
+	newAdj := make([][]int32, ncomp)
+	for ui, cs := range adj {
+		nc := comp[ui]
+		for _, ci := range cs {
+			if cc := comp[ci]; cc != nc {
+				newAdj[nc] = append(newAdj[nc], cc)
 			}
-			mm := newAdj[nu]
-			if mm == nil {
-				mm = make(map[*Unit]struct{})
-				newAdj[nu] = mm
-			}
-			mm[nc] = struct{}{}
 		}
 	}
-	out := make([]*Unit, 0, ncomp)
-	seen := make(map[*Unit]bool, ncomp)
-	for _, u := range merged {
-		if !seen[u] {
-			seen[u] = true
-			out = append(out, u)
+	for c, cs := range newAdj {
+		if len(cs) > 1 {
+			slices.Sort(cs)
+			newAdj[c] = slices.Compact(cs)
 		}
 	}
-	return out, newAdj, cyclic
+	return merged, newAdj, cyclic
 }
 
 // Stratify partitions units into strata by rank — the length of the longest
 // dependency path reaching each unit (paper Fig. 5). Structured exploration
-// processes stratum k only after stratum k-1.
+// processes stratum k only after stratum k-1. Unit IDs must be dense
+// (0..len-1), as assigned by BuildUnits.
 func Stratify(units []*Unit) [][]*Unit {
-	indeg := make(map[*Unit]int, len(units))
+	indeg := make([]int32, len(units))
 	for _, u := range units {
-		indeg[u] = len(u.parents)
+		indeg[u.ID] = int32(len(u.parents))
 	}
-	var queue []*Unit
+	queue := make([]*Unit, 0, len(units))
 	for _, u := range units {
-		if indeg[u] == 0 {
+		if indeg[u.ID] == 0 {
 			u.Rank = 0
 			queue = append(queue, u)
 		}
 	}
 	maxRank := 0
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
 		if u.Rank > maxRank {
 			maxRank = u.Rank
 		}
@@ -361,8 +350,8 @@ func Stratify(units []*Unit) [][]*Unit {
 			if r := u.Rank + 1; r > c.Rank {
 				c.Rank = r
 			}
-			indeg[c]--
-			if indeg[c] == 0 {
+			indeg[c.ID]--
+			if indeg[c.ID] == 0 {
 				queue = append(queue, c)
 			}
 		}

@@ -1,0 +1,92 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// KeyID is a dense interned identifier of one state key. The engine resolves
+// string keys to KeyIDs once — at workload generation / transaction build
+// time — and every hot path (planning, scheduling, execution, the state
+// table itself) works on the dense IDs, indexing slices instead of hashing
+// strings.
+type KeyID uint32
+
+// NoKeyID marks an unresolved key, e.g. the target of a non-deterministic
+// operation before execution resolves it.
+const NoKeyID KeyID = ^KeyID(0)
+
+// Dict is an append-only concurrent interning dictionary mapping string keys
+// to dense KeyIDs. IDs are assigned sequentially from 0 and never recycled,
+// so slices indexed by KeyID stay valid for the process lifetime. The read
+// path (Lookup / Intern of an already-known key / Name) is lock-free: ids
+// live in a sync.Map and the id->name table is an atomically published
+// immutable-prefix slice.
+type Dict struct {
+	ids sync.Map // string -> KeyID
+
+	mu    sync.Mutex   // guards interning of new keys
+	names atomic.Value // []string; indices < published len are immutable
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	d := &Dict{}
+	d.names.Store([]string(nil))
+	return d
+}
+
+// Intern returns the KeyID of k, assigning a fresh one on first sight.
+func (d *Dict) Intern(k Key) KeyID {
+	if id, ok := d.ids.Load(k); ok {
+		return id.(KeyID)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.ids.Load(k); ok {
+		return id.(KeyID)
+	}
+	names := d.names.Load().([]string)
+	id := KeyID(len(names))
+	d.names.Store(append(names, k))
+	d.ids.Store(k, id)
+	return id
+}
+
+// Lookup returns the KeyID of k without interning; ok is false when k has
+// never been interned.
+func (d *Dict) Lookup(k Key) (KeyID, bool) {
+	if id, ok := d.ids.Load(k); ok {
+		return id.(KeyID), true
+	}
+	return 0, false
+}
+
+// Name returns the string key of an interned id; the empty string for ids
+// the dictionary never handed out.
+func (d *Dict) Name(id KeyID) Key {
+	names := d.names.Load().([]string)
+	if int(id) >= len(names) {
+		return ""
+	}
+	return names[id]
+}
+
+// Len reports how many keys have been interned.
+func (d *Dict) Len() int {
+	return len(d.names.Load().([]string))
+}
+
+// defaultDict is the process-wide dictionary shared by every Table and
+// transaction builder, so that KeyIDs are comparable across tables (the
+// serial oracle, baselines and the engine under test all agree).
+var defaultDict = NewDict()
+
+// Intern resolves k through the default dictionary.
+func Intern(k Key) KeyID { return defaultDict.Intern(k) }
+
+// LookupID resolves k through the default dictionary without interning.
+func LookupID(k Key) (KeyID, bool) { return defaultDict.Lookup(k) }
+
+// KeyOf returns the string key of an id interned in the default dictionary.
+func KeyOf(id KeyID) Key { return defaultDict.Name(id) }

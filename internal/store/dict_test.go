@@ -1,0 +1,190 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestDictInternStable(t *testing.T) {
+	d := NewDict()
+	a := d.Intern("alpha")
+	b := d.Intern("beta")
+	if a == b {
+		t.Fatal("distinct keys share an id")
+	}
+	if got := d.Intern("alpha"); got != a {
+		t.Fatalf("re-intern changed id: %d != %d", got, a)
+	}
+	if id, ok := d.Lookup("beta"); !ok || id != b {
+		t.Fatalf("Lookup(beta) = %d,%v; want %d,true", id, ok, b)
+	}
+	if _, ok := d.Lookup("gamma"); ok {
+		t.Fatal("Lookup of unknown key reported ok")
+	}
+	if d.Name(a) != "alpha" || d.Name(b) != "beta" {
+		t.Fatal("Name round-trip broken")
+	}
+	if d.Name(NoKeyID) != "" {
+		t.Fatal("Name(NoKeyID) should be empty")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d; want 2", d.Len())
+	}
+}
+
+func TestDictConcurrentIntern(t *testing.T) {
+	d := NewDict()
+	const workers, keys = 8, 200
+	var wg sync.WaitGroup
+	ids := make([][]KeyID, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids[w] = make([]KeyID, keys)
+			for i := 0; i < keys; i++ {
+				ids[w][i] = d.Intern(fmt.Sprintf("k%d", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if d.Len() != keys {
+		t.Fatalf("Len = %d; want %d", d.Len(), keys)
+	}
+	for w := 1; w < workers; w++ {
+		for i := 0; i < keys; i++ {
+			if ids[w][i] != ids[0][i] {
+				t.Fatalf("worker %d got id %d for k%d; worker 0 got %d", w, ids[w][i], i, ids[0][i])
+			}
+		}
+	}
+	// Every name resolves back.
+	for i := 0; i < keys; i++ {
+		if d.Name(ids[0][i]) != fmt.Sprintf("k%d", i) {
+			t.Fatalf("Name(%d) = %q", ids[0][i], d.Name(ids[0][i]))
+		}
+	}
+}
+
+func TestTruncateAllKeepsSingleLatestVersion(t *testing.T) {
+	tb := NewTable()
+	for ts := uint64(1); ts <= 10; ts++ {
+		tb.Write("k", ts, int64(ts))
+	}
+	tb.Truncate(^uint64(0)) // the engine's full clean-up
+	if n := tb.VersionCount("k"); n != 1 {
+		t.Fatalf("VersionCount after Truncate(max) = %d; want 1", n)
+	}
+	v, ok := tb.Latest("k")
+	if !ok || v.(int64) != 10 {
+		t.Fatalf("Latest after Truncate = %v,%v; want 10,true", v, ok)
+	}
+	// The retained version keeps its timestamp: a read at ts<=10 misses.
+	if _, ok := tb.Read("k", 5); ok {
+		t.Fatal("read below retained TS should miss")
+	}
+	if v, ok := tb.Read("k", 11); !ok || v.(int64) != 10 {
+		t.Fatalf("read above retained TS = %v,%v; want 10,true", v, ok)
+	}
+}
+
+func TestRemoveNonExistentVersion(t *testing.T) {
+	tb := NewTable()
+	tb.Write("k", 5, int64(1))
+	tb.Remove("k", 4)       // no version at 4
+	tb.Remove("k", 6)       // no version at 6
+	tb.Remove("missing", 5) // key never seen
+	if n := tb.VersionCount("k"); n != 1 {
+		t.Fatalf("VersionCount = %d; want 1 (remove of absent versions must be a no-op)", n)
+	}
+	// Removing the only version leaves an empty, but present, key.
+	tb.Remove("k", 5)
+	if n := tb.VersionCount("k"); n != 0 {
+		t.Fatalf("VersionCount after removing last = %d; want 0", n)
+	}
+	if _, ok := tb.Latest("k"); ok {
+		t.Fatal("Latest on emptied key reported ok")
+	}
+}
+
+func TestWriteOutOfOrderInsertsSorted(t *testing.T) {
+	tb := NewTable()
+	for _, ts := range []uint64{50, 10, 30, 20, 40} {
+		tb.Write("k", ts, int64(ts))
+	}
+	vs := tb.ReadRange("k", 0, 100)
+	if len(vs) != 5 {
+		t.Fatalf("got %d versions; want 5", len(vs))
+	}
+	for i := 1; i < len(vs); i++ {
+		if vs[i-1].TS >= vs[i].TS {
+			t.Fatalf("versions not sorted: %v", vs)
+		}
+	}
+	if v, ok := tb.Read("k", 35); !ok || v.(int64) != 30 {
+		t.Fatalf("Read(35) = %v,%v; want 30,true", v, ok)
+	}
+}
+
+// TestKeyIDAndStringAPIAgree cross-checks the dense-ID hot path against the
+// string compatibility wrapper on a randomized workload: both views of the
+// same table must agree on every operation's outcome.
+func TestKeyIDAndStringAPIAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tb := NewTable()
+	ref := NewTable()
+	const nKeys = 37
+	keys := make([]Key, nKeys)
+	ids := make([]KeyID, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("xk%d", i)
+		ids[i] = Intern(keys[i])
+	}
+	for step := 0; step < 5000; step++ {
+		i := rng.Intn(nKeys)
+		ts := uint64(rng.Intn(100))
+		switch rng.Intn(4) {
+		case 0:
+			v := int64(rng.Intn(1000))
+			tb.WriteID(ids[i], ts, v) // ID path on one table...
+			ref.Write(keys[i], ts, v) // ...string path on the other
+		case 1:
+			a, aok := tb.Read(keys[i], ts)
+			b, bok := ref.ReadID(ids[i], ts)
+			if aok != bok || (aok && a.(int64) != b.(int64)) {
+				t.Fatalf("step %d: Read mismatch: %v,%v vs %v,%v", step, a, aok, b, bok)
+			}
+		case 2:
+			tb.RemoveID(ids[i], ts)
+			ref.Remove(keys[i], ts)
+		case 3:
+			lo := uint64(rng.Intn(100))
+			hi := lo + uint64(rng.Intn(50))
+			a := tb.ReadRange(keys[i], lo, hi)
+			b := ref.ReadRangeID(ids[i], lo, hi)
+			if len(a) != len(b) {
+				t.Fatalf("step %d: ReadRange len %d vs %d", step, len(a), len(b))
+			}
+			for j := range a {
+				if a[j].TS != b[j].TS || a[j].Value.(int64) != b[j].Value.(int64) {
+					t.Fatalf("step %d: ReadRange[%d] %v vs %v", step, j, a[j], b[j])
+				}
+			}
+		}
+	}
+	// Final states must be identical key-by-key.
+	sa, sb := tb.Snapshot(), ref.Snapshot()
+	if len(sa) != len(sb) {
+		t.Fatalf("snapshot sizes differ: %d vs %d", len(sa), len(sb))
+	}
+	for k, v := range sa {
+		if bv, ok := sb[k]; !ok || bv.(int64) != v.(int64) {
+			t.Fatalf("snapshot mismatch at %s: %v vs %v", k, v, sb[k])
+		}
+	}
+	if tb.TotalVersions() != ref.TotalVersions() {
+		t.Fatalf("version counts differ: %d vs %d", tb.TotalVersions(), ref.TotalVersions())
+	}
+}

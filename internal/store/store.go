@@ -6,11 +6,21 @@
 // MorphStream serves windowed state access (Section 6.5.1). Aborts roll the
 // chain back by removing the aborted transaction's version (Section 6.3.2),
 // and Truncate discards history once a batch is fully processed.
+//
+// # Key interning
+//
+// String keys are interned once into dense KeyIDs (see Dict): the table is
+// physically a slice of version chains per lock shard, indexed by KeyID —
+// id % shards selects the shard, id / shards the slot inside it. The hot
+// path (*ID methods) therefore never hashes a string: planning and execution
+// resolve keys at transaction build time and carry KeyIDs through the TPG.
+// The string-keyed methods remain as thin compatibility wrappers that
+// resolve through the process-wide dictionary; examples, tests and baselines
+// use them, the engine's hot path does not.
 package store
 
 import (
 	"fmt"
-	"hash/maphash"
 	"sort"
 	"sync"
 )
@@ -28,14 +38,9 @@ type Version struct {
 	Value Value
 }
 
-// chain is the per-key version list, kept sorted by TS ascending.
-type chain struct {
-	versions []Version
-}
-
 // locate returns the index of the first version with TS >= ts.
-func (c *chain) locate(ts uint64) int {
-	return sort.Search(len(c.versions), func(i int) bool { return c.versions[i].TS >= ts })
+func locate(vs []Version, ts uint64) int {
+	return sort.Search(len(vs), func(i int) bool { return vs[i].TS >= ts })
 }
 
 const defaultShards = 64
@@ -45,13 +50,16 @@ const defaultShards = 64
 // accesses to the same key are ordered by the TPG, but distinct keys are
 // routinely touched in parallel, hence the shard locks.
 type Table struct {
+	dict   *Dict
 	shards []shard
-	seed   maphash.Seed
 }
 
+// shard holds the version chains of every KeyID congruent to its index
+// modulo the shard count. A nil chain slot means the key is absent; a
+// non-nil empty chain is a key that exists with no versions (all removed).
 type shard struct {
-	mu sync.RWMutex
-	m  map[Key]*chain
+	mu     sync.RWMutex
+	chains [][]Version
 }
 
 // NewTable returns an empty table with the default shard count.
@@ -62,166 +70,252 @@ func NewTableShards(n int) *Table {
 	if n <= 0 {
 		n = defaultShards
 	}
-	t := &Table{shards: make([]shard, n), seed: maphash.MakeSeed()}
-	for i := range t.shards {
-		t.shards[i].m = make(map[Key]*chain)
+	return &Table{dict: defaultDict, shards: make([]shard, n)}
+}
+
+// shardOf maps an id to its lock shard and the chain slot inside it.
+func (t *Table) shardOf(id KeyID) (*shard, int) {
+	n := uint32(len(t.shards))
+	return &t.shards[uint32(id)%n], int(uint32(id) / n)
+}
+
+// slot grows the shard's chain slice as needed and returns the slot index.
+// Growth doubles capacity so filling a shard slot-by-slot stays amortised
+// O(1). Caller holds the shard lock.
+func (s *shard) slot(i int) int {
+	if i >= len(s.chains) {
+		if i < cap(s.chains) {
+			s.chains = s.chains[:i+1]
+		} else {
+			c := 2 * cap(s.chains)
+			if c < i+1 {
+				c = i + 1
+			}
+			if c < 8 {
+				c = 8
+			}
+			grown := make([][]Version, i+1, c)
+			copy(grown, s.chains)
+			s.chains = grown
+		}
 	}
-	return t
+	return i
 }
 
-func (t *Table) shardOf(k Key) *shard {
-	return &t.shards[maphash.String(t.seed, k)%uint64(len(t.shards))]
-}
-
-// Preload seeds key k with an initial version at timestamp 0. TSPEs
+// PreloadID seeds id with an initial version at timestamp 0. TSPEs
 // preallocate shared state before processing (Section 2.1.1).
-func (t *Table) Preload(k Key, v Value) {
-	s := t.shardOf(k)
+func (t *Table) PreloadID(id KeyID, v Value) {
+	s, i := t.shardOf(id)
 	s.mu.Lock()
-	s.m[k] = &chain{versions: []Version{{TS: 0, Value: v}}}
+	s.chains[s.slot(i)] = []Version{{TS: 0, Value: v}}
 	s.mu.Unlock()
 }
 
-// Read returns the value of the latest version with TS < ts.
+// ReadID returns the value of the latest version with TS < ts.
 // ok is false when the key does not exist or has no version older than ts.
-func (t *Table) Read(k Key, ts uint64) (Value, bool) {
-	s := t.shardOf(k)
+func (t *Table) ReadID(id KeyID, ts uint64) (Value, bool) {
+	s, i := t.shardOf(id)
 	s.mu.RLock()
-	c := s.m[k]
-	if c == nil || len(c.versions) == 0 {
+	var vs []Version
+	if i < len(s.chains) {
+		vs = s.chains[i]
+	}
+	j := locate(vs, ts)
+	if j == 0 {
 		s.mu.RUnlock()
 		return nil, false
 	}
-	i := c.locate(ts)
-	if i == 0 {
-		s.mu.RUnlock()
-		return nil, false
-	}
-	v := c.versions[i-1].Value
+	v := vs[j-1].Value
 	s.mu.RUnlock()
 	return v, true
 }
 
-// ReadRange returns a copy of all versions with lo <= TS < hi, ascending.
+// ReadRangeID returns a copy of all versions with lo <= TS < hi, ascending.
 // It serves window operations: a window read at ts with size w asks for
 // [ts-w, ts).
-func (t *Table) ReadRange(k Key, lo, hi uint64) []Version {
-	s := t.shardOf(k)
+func (t *Table) ReadRangeID(id KeyID, lo, hi uint64) []Version {
+	s, i := t.shardOf(id)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	c := s.m[k]
-	if c == nil {
+	if i >= len(s.chains) {
 		return nil
 	}
-	i, j := c.locate(lo), c.locate(hi)
-	if i >= j {
+	vs := s.chains[i]
+	a, b := locate(vs, lo), locate(vs, hi)
+	if a >= b {
 		return nil
 	}
-	out := make([]Version, j-i)
-	copy(out, c.versions[i:j])
+	out := make([]Version, b-a)
+	copy(out, vs[a:b])
 	return out
 }
 
-// Write installs a new version of k at ts. Versions are almost always
+// WriteID installs a new version of id at ts. Versions are almost always
 // appended in timestamp order during in-order execution, but speculative
-// execution may install them out of order, so Write inserts at the sorted
-// position. Writing twice at the same (k, ts) replaces the value.
-func (t *Table) Write(k Key, ts uint64, v Value) {
-	s := t.shardOf(k)
+// execution may install them out of order, so WriteID inserts at the sorted
+// position. Writing twice at the same (id, ts) replaces the value.
+func (t *Table) WriteID(id KeyID, ts uint64, v Value) {
+	s, i := t.shardOf(id)
 	s.mu.Lock()
-	c := s.m[k]
-	if c == nil {
-		c = &chain{}
-		s.m[k] = c
-	}
-	i := c.locate(ts)
+	i = s.slot(i)
+	vs := s.chains[i]
+	j := locate(vs, ts)
 	switch {
-	case i < len(c.versions) && c.versions[i].TS == ts:
-		c.versions[i].Value = v
-	case i == len(c.versions):
-		c.versions = append(c.versions, Version{TS: ts, Value: v})
+	case j < len(vs) && vs[j].TS == ts:
+		vs[j].Value = v
+	case j == len(vs):
+		s.chains[i] = append(vs, Version{TS: ts, Value: v})
 	default:
-		c.versions = append(c.versions, Version{})
-		copy(c.versions[i+1:], c.versions[i:])
-		c.versions[i] = Version{TS: ts, Value: v}
+		vs = append(vs, Version{})
+		copy(vs[j+1:], vs[j:])
+		vs[j] = Version{TS: ts, Value: v}
+		s.chains[i] = vs
 	}
 	s.mu.Unlock()
 }
 
-// Remove deletes the version of k at exactly ts, if present. It implements
-// rollback of a single aborted write.
-func (t *Table) Remove(k Key, ts uint64) {
-	s := t.shardOf(k)
+// RemoveID deletes the version of id at exactly ts, if present. It
+// implements rollback of a single aborted write.
+func (t *Table) RemoveID(id KeyID, ts uint64) {
+	s, i := t.shardOf(id)
 	s.mu.Lock()
-	c := s.m[k]
-	if c != nil {
-		i := c.locate(ts)
-		if i < len(c.versions) && c.versions[i].TS == ts {
-			c.versions = append(c.versions[:i], c.versions[i+1:]...)
+	if i < len(s.chains) {
+		vs := s.chains[i]
+		j := locate(vs, ts)
+		if j < len(vs) && vs[j].TS == ts {
+			s.chains[i] = append(vs[:j], vs[j+1:]...)
 		}
 	}
 	s.mu.Unlock()
 }
 
-// Latest returns the most recent version value of k regardless of timestamp.
-func (t *Table) Latest(k Key) (Value, bool) {
-	s := t.shardOf(k)
+// LatestID returns the most recent version value of id regardless of
+// timestamp.
+func (t *Table) LatestID(id KeyID) (Value, bool) {
+	s, i := t.shardOf(id)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	c := s.m[k]
-	if c == nil || len(c.versions) == 0 {
+	if i >= len(s.chains) || len(s.chains[i]) == 0 {
 		return nil, false
 	}
-	return c.versions[len(c.versions)-1].Value, true
+	vs := s.chains[i]
+	return vs[len(vs)-1].Value, true
+}
+
+// VersionCountID reports how many versions id currently holds.
+func (t *Table) VersionCountID(id KeyID) int {
+	s, i := t.shardOf(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if i >= len(s.chains) {
+		return 0
+	}
+	return len(s.chains[i])
+}
+
+// --- String-keyed compatibility wrappers ---
+
+// Preload seeds key k with an initial version at timestamp 0.
+func (t *Table) Preload(k Key, v Value) { t.PreloadID(t.dict.Intern(k), v) }
+
+// Read returns the value of the latest version of k with TS < ts.
+func (t *Table) Read(k Key, ts uint64) (Value, bool) {
+	id, ok := t.dict.Lookup(k)
+	if !ok {
+		return nil, false
+	}
+	return t.ReadID(id, ts)
+}
+
+// ReadRange returns a copy of all versions of k with lo <= TS < hi.
+func (t *Table) ReadRange(k Key, lo, hi uint64) []Version {
+	id, ok := t.dict.Lookup(k)
+	if !ok {
+		return nil
+	}
+	return t.ReadRangeID(id, lo, hi)
+}
+
+// Write installs a new version of k at ts.
+func (t *Table) Write(k Key, ts uint64, v Value) { t.WriteID(t.dict.Intern(k), ts, v) }
+
+// Remove deletes the version of k at exactly ts, if present.
+func (t *Table) Remove(k Key, ts uint64) {
+	if id, ok := t.dict.Lookup(k); ok {
+		t.RemoveID(id, ts)
+	}
+}
+
+// Latest returns the most recent version value of k regardless of timestamp.
+func (t *Table) Latest(k Key) (Value, bool) {
+	id, ok := t.dict.Lookup(k)
+	if !ok {
+		return nil, false
+	}
+	return t.LatestID(id)
 }
 
 // VersionCount reports how many versions k currently holds.
 func (t *Table) VersionCount(k Key) int {
-	s := t.shardOf(k)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if c := s.m[k]; c != nil {
-		return len(c.versions)
+	id, ok := t.dict.Lookup(k)
+	if !ok {
+		return 0
 	}
-	return 0
+	return t.VersionCountID(id)
 }
 
+// --- Whole-table operations ---
+
 // Truncate collapses every chain to its single latest version not newer
-// than ts, re-stamped at 0 when keepTS is false. The engine calls it after
-// a batch commits to discard temporal objects (Section 8.3.3); disabling
-// clean-up reproduces the unbounded memory growth of Fig. 16b.
+// than ts; the surviving version keeps its timestamp. The engine calls it
+// after a batch commits to discard temporal objects (Section 8.3.3);
+// disabling clean-up reproduces the unbounded memory growth of Fig. 16b.
 func (t *Table) Truncate(ts uint64) {
 	for i := range t.shards {
 		s := &t.shards[i]
 		s.mu.Lock()
-		for _, c := range s.m {
-			j := len(c.versions)
+		for slot, vs := range s.chains {
+			j := len(vs)
 			if ts != ^uint64(0) {
-				j = c.locate(ts + 1)
+				j = locate(vs, ts+1)
 			}
 			if j == 0 {
 				continue
 			}
-			last := c.versions[j-1]
-			c.versions = c.versions[:1]
-			c.versions[0] = last
+			last := vs[j-1]
+			vs = vs[:1]
+			vs[0] = last
+			s.chains[slot] = vs
 		}
 		s.mu.Unlock()
 	}
 }
 
-// Keys returns every key currently present. Order is unspecified.
-// Planning uses it to fan virtual operations of non-deterministic accesses
-// out to all states (Section 4.4).
-func (t *Table) Keys() []Key {
-	var out []Key
-	for i := range t.shards {
-		s := &t.shards[i]
+// KeyIDs returns the id of every key currently present, in ascending order
+// within each shard. Planning uses the key universe to fan virtual
+// operations of non-deterministic accesses out to all states (Section 4.4).
+func (t *Table) KeyIDs() []KeyID {
+	n := uint32(len(t.shards))
+	var out []KeyID
+	for si := range t.shards {
+		s := &t.shards[si]
 		s.mu.RLock()
-		for k := range s.m {
-			out = append(out, k)
+		for slot, vs := range s.chains {
+			if vs != nil {
+				out = append(out, KeyID(uint32(slot)*n+uint32(si)))
+			}
 		}
 		s.mu.RUnlock()
+	}
+	return out
+}
+
+// Keys returns every key currently present. Order is unspecified.
+func (t *Table) Keys() []Key {
+	ids := t.KeyIDs()
+	out := make([]Key, len(ids))
+	for i, id := range ids {
+		out[i] = t.dict.Name(id)
 	}
 	return out
 }
@@ -232,7 +326,11 @@ func (t *Table) Len() int {
 	for i := range t.shards {
 		s := &t.shards[i]
 		s.mu.RLock()
-		n += len(s.m)
+		for _, vs := range s.chains {
+			if vs != nil {
+				n++
+			}
+		}
 		s.mu.RUnlock()
 	}
 	return n
@@ -242,12 +340,13 @@ func (t *Table) Len() int {
 // compare engines against the serial oracle.
 func (t *Table) Snapshot() map[Key]Value {
 	out := make(map[Key]Value, t.Len())
-	for i := range t.shards {
-		s := &t.shards[i]
+	n := uint32(len(t.shards))
+	for si := range t.shards {
+		s := &t.shards[si]
 		s.mu.RLock()
-		for k, c := range s.m {
-			if len(c.versions) > 0 {
-				out[k] = c.versions[len(c.versions)-1].Value
+		for slot, vs := range s.chains {
+			if len(vs) > 0 {
+				out[t.dict.Name(KeyID(uint32(slot)*n+uint32(si)))] = vs[len(vs)-1].Value
 			}
 		}
 		s.mu.RUnlock()
@@ -262,8 +361,8 @@ func (t *Table) TotalVersions() int {
 	for i := range t.shards {
 		s := &t.shards[i]
 		s.mu.RLock()
-		for _, c := range s.m {
-			n += len(c.versions)
+		for _, vs := range s.chains {
+			n += len(vs)
 		}
 		s.mu.RUnlock()
 	}
@@ -273,18 +372,22 @@ func (t *Table) TotalVersions() int {
 // Clone deep-copies the table (values are copied shallowly). The TStream
 // baseline snapshots state at batch start to support whole-batch redo.
 func (t *Table) Clone() *Table {
-	n := NewTableShards(len(t.shards))
+	c := NewTableShards(len(t.shards))
 	for i := range t.shards {
 		s := &t.shards[i]
 		s.mu.RLock()
-		for k, c := range s.m {
-			vs := make([]Version, len(c.versions))
-			copy(vs, c.versions)
-			n.shardOf(k).m[k] = &chain{versions: vs}
+		cs := &c.shards[i]
+		cs.chains = make([][]Version, len(s.chains))
+		for slot, vs := range s.chains {
+			if vs != nil {
+				cvs := make([]Version, len(vs))
+				copy(cvs, vs)
+				cs.chains[slot] = cvs
+			}
 		}
 		s.mu.RUnlock()
 	}
-	return n
+	return c
 }
 
 // String summarises the table for debugging.

@@ -13,14 +13,19 @@
 // operation to the latest preceding write (window operations link to every
 // in-window write; non-deterministic operations fan virtual operations out to
 // every key list, paper Section 4.3 and 4.4).
+//
+// Keys are handled as interned dense ids throughout (store.KeyID): the
+// per-key lists are sharded by id, so planning never hashes a string.
+// Finalize also assigns each operation its dense per-batch Index, which the
+// scheduler and executor use to replace pointer-keyed maps with flat slices.
 package tpg
 
 import (
 	"fmt"
-	"hash/maphash"
-	"sort"
+	"slices"
 	"sync"
 
+	"morphstream/internal/store"
 	"morphstream/internal/txn"
 )
 
@@ -58,7 +63,14 @@ const listShards = 64
 
 type listShard struct {
 	mu sync.Mutex
-	m  map[Key]*keyList
+	m  map[store.KeyID]*keyList
+
+	// edges and writes are Finalize scratch, owned by deriveShard and
+	// retained across Reset so steady-state construction stays
+	// allocation-free once warm. edges is consumed by linkEdges before the
+	// next Finalize can run.
+	edges  []edgePair
+	writes []writeAt
 }
 
 // Builder accumulates one batch of state transactions and constructs its TPG.
@@ -66,7 +78,6 @@ type listShard struct {
 // Finalize runs the transaction processing phase.
 type Builder struct {
 	shards [listShards]listShard
-	seed   maphash.Seed
 
 	mu      sync.Mutex
 	txns    []*txn.Transaction
@@ -76,31 +87,86 @@ type Builder struct {
 	multi   int // ops with >1 source key
 	withSrc int // ops with >=1 source key
 
-	// allKeys lazily supplies the key universe for non-deterministic
-	// fan-out (typically store.Table.Keys).
-	allKeys func() []Key
+	// allKeys / allKeyIDs lazily supply the key universe for
+	// non-deterministic fan-out (typically store.Table.Keys or, on the
+	// dense hot path, store.Table.KeyIDs).
+	allKeys   func() []Key
+	allKeyIDs func() []store.KeyID
+
+	// childPos / parentPos are linkEdges scratch (count-then-offset
+	// arrays), retained across Reset.
+	childPos  []int32
+	parentPos []int32
 }
 
 // NewBuilder returns an empty Builder. allKeys supplies the key universe for
 // non-deterministic operations; it may be nil when the workload has none.
 func NewBuilder(allKeys func() []Key) *Builder {
-	return &Builder{seed: maphash.MakeSeed(), allKeys: allKeys}
+	return &Builder{allKeys: allKeys}
 }
 
-func (b *Builder) shardOf(k Key) *listShard {
-	return &b.shards[maphash.String(b.seed, k)%listShards]
+// NewBuilderIDs is NewBuilder with the key universe supplied as dense ids
+// (typically store.Table.KeyIDs), sparing the ND fan-out a string
+// round-trip per key. The engine uses this constructor.
+func NewBuilderIDs(allKeyIDs func() []store.KeyID) *Builder {
+	return &Builder{allKeyIDs: allKeyIDs}
 }
 
-func (b *Builder) appendEntry(k Key, e entry) {
-	s := b.shardOf(k)
+func (b *Builder) shardOf(id store.KeyID) *listShard {
+	return &b.shards[uint32(id)%listShards]
+}
+
+// clearCap zeroes a slice's full capacity region and truncates it to zero
+// length, dropping the pointers a plain [:0] would retain.
+func clearCap[T any](s []T) []T {
+	s = s[:cap(s)]
+	clear(s)
+	return s[:0]
+}
+
+// Reset clears the builder for the next batch while retaining allocated
+// capacity: the per-key lists and the Finalize scratch buffers are emptied,
+// not freed, so a long-running engine constructs each punctuation's TPG
+// with near-zero steady-state allocation. Outputs of the previous Finalize
+// (the Graph, its Ops/Chains, and the operations' edge arrays) are fresh
+// allocations and stay valid after Reset.
+func (b *Builder) Reset() {
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.Lock()
+		for id, l := range s.m {
+			if len(l.entries) == 0 {
+				// Cold for a full batch: evict, so builder memory tracks
+				// the live working set rather than every key ever seen.
+				delete(s.m, id)
+			} else {
+				l.entries = clearCap(l.entries)
+			}
+		}
+		// The scratch buffers hold operation pointers of the previous
+		// batch in their capacity regions; zero them so the batch's graph
+		// is collectable once its consumers drop it.
+		s.edges = clearCap(s.edges)
+		s.writes = clearCap(s.writes)
+		s.mu.Unlock()
+	}
+	b.mu.Lock()
+	b.txns = nil // the previous Graph aliases the backing array
+	b.ndOps = nil
+	b.numOps, b.numLD, b.multi, b.withSrc = 0, 0, 0, 0
+	b.mu.Unlock()
+}
+
+func (b *Builder) appendEntry(id store.KeyID, e entry) {
+	s := b.shardOf(id)
 	s.mu.Lock()
-	l := s.m[k]
+	l := s.m[id]
 	if l == nil {
 		if s.m == nil {
-			s.m = make(map[Key]*keyList)
+			s.m = make(map[store.KeyID]*keyList)
 		}
 		l = &keyList{}
-		s.m[k] = l
+		s.m[id] = l
 	}
 	l.entries = append(l.entries, e)
 	s.mu.Unlock()
@@ -110,25 +176,25 @@ func (b *Builder) appendEntry(k Key, e entry) {
 // them into the per-key lists (stream processing phase). Safe for concurrent
 // use.
 func (b *Builder) AddTxn(t *txn.Transaction) {
-	nd := 0
 	multi, withSrc := 0, 0
+	var nds []*txn.Operation
 	for _, op := range t.Ops {
 		op.SetState(txn.BLK)
-		if len(op.SrcKeys) > 1 {
+		if len(op.SrcIDs) > 1 {
 			multi++
 		}
-		if len(op.SrcKeys) > 0 {
+		if len(op.SrcIDs) > 0 {
 			withSrc++
 		}
 		if op.IsND() {
 			// Fan-out is deferred to Finalize so that lists created by
 			// later arrivals are covered too.
-			nd++
+			nds = append(nds, op)
 			continue
 		}
-		b.appendEntry(op.Key, entry{op: op, kind: real})
-		for _, src := range op.SrcKeys {
-			if src == op.Key && op.Window == 0 {
+		b.appendEntry(op.KeyID, entry{op: op, kind: real})
+		for _, src := range op.SrcIDs {
+			if src == op.KeyID && op.Window == 0 {
 				// Self-sourced write (e.g. balance = f(balance)): the TD
 				// chain already orders it after the previous write.
 				continue
@@ -144,13 +210,8 @@ func (b *Builder) AddTxn(t *txn.Transaction) {
 	}
 	b.multi += multi
 	b.withSrc += withSrc
-	for _, op := range t.Ops {
-		if op.IsND() {
-			b.ndOps = append(b.ndOps, op)
-		}
-	}
+	b.ndOps = append(b.ndOps, nds...)
 	b.mu.Unlock()
-	_ = nd
 }
 
 // AddTxns adds a slice of transactions using the given number of workers;
@@ -184,7 +245,8 @@ func (b *Builder) AddTxns(txns []*txn.Transaction, workers int) {
 // are the TD/PD dependencies (LDs stay implicit in the transactions).
 type Graph struct {
 	Txns []*txn.Transaction
-	Ops  []*txn.Operation
+	// Ops are all operations of the batch; op.Index is its position here.
+	Ops []*txn.Operation
 	// Chains groups the real operations of each key in timestamp order;
 	// the scheduler uses them as coarse-grained scheduling units.
 	Chains [][]*txn.Operation
@@ -216,23 +278,33 @@ func (b *Builder) Finalize(workers int) *Graph {
 	// Non-deterministic fan-out: a pessimistic virtual operation of every
 	// ND op goes into every known key list (paper Section 4.4).
 	if len(b.ndOps) > 0 {
-		universe := map[Key]struct{}{}
+		universe := map[store.KeyID]struct{}{}
+		if b.allKeyIDs != nil {
+			for _, id := range b.allKeyIDs() {
+				universe[id] = struct{}{}
+			}
+		}
 		if b.allKeys != nil {
 			for _, k := range b.allKeys() {
-				universe[k] = struct{}{}
+				universe[store.Intern(k)] = struct{}{}
 			}
 		}
 		for i := range b.shards {
 			s := &b.shards[i]
 			s.mu.Lock()
-			for k := range s.m {
-				universe[k] = struct{}{}
+			for id, l := range s.m {
+				// Only lists touched this batch: a reused builder keeps
+				// empty lists of earlier batches, which are not part of
+				// the current key universe.
+				if len(l.entries) > 0 {
+					universe[id] = struct{}{}
+				}
 			}
 			s.mu.Unlock()
 		}
-		for k := range universe {
+		for id := range universe {
 			for _, op := range b.ndOps {
-				b.appendEntry(k, entry{op: op, kind: ndvo})
+				b.appendEntry(id, entry{op: op, kind: ndvo})
 			}
 		}
 	}
@@ -244,8 +316,10 @@ func (b *Builder) Finalize(workers int) *Graph {
 	if b.numOps > 0 {
 		g.Props.MultiAccessRatio = float64(b.multi) / float64(b.numOps)
 	}
+	g.Ops = make([]*txn.Operation, 0, b.numOps)
 	for _, t := range b.txns {
 		for _, op := range t.Ops {
+			op.Index = int32(len(g.Ops))
 			g.Ops = append(g.Ops, op)
 			switch op.Kind {
 			case txn.OpNDRead, txn.OpNDWrite:
@@ -273,7 +347,7 @@ func (b *Builder) Finalize(workers int) *Graph {
 	}
 	wg.Wait()
 
-	var maxList, totList, nLists int
+	var maxList, totList, nLists, numEdges int
 	for _, r := range results {
 		g.Props.NumTD += r.td
 		g.Props.NumPD += r.pd
@@ -283,15 +357,16 @@ func (b *Builder) Finalize(workers int) *Graph {
 		totList += r.totList
 		nLists += r.nLists
 	}
+	for i := range b.shards {
+		numEdges += len(b.shards[i].edges)
+	}
 	if nLists > 0 && totList > 0 {
 		g.Props.DegreeSkew = float64(maxList) / (float64(totList) / float64(nLists))
 	} else {
 		g.Props.DegreeSkew = 1
 	}
 
-	for _, op := range g.Ops {
-		op.DedupEdges()
-	}
+	b.linkEdges(g, numEdges)
 
 	// Coarse-grained chains: the real operations per key, in timestamp
 	// order; ND ops form singleton chains of their own.
@@ -321,18 +396,105 @@ type shardStats struct {
 	nLists           int
 }
 
-// deriveShard sorts every list of one shard and derives its TD/PD edges.
+// edgePair is one "child depends on parent" dependency.
+type edgePair struct {
+	p, c *txn.Operation
+}
+
+// grownPos returns a zeroed int32 scratch array of length n, reusing buf.
+func grownPos(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// linkEdges materialises every operation's parent/child lists from the
+// per-shard edge buffers: a counting pass sizes two shared backing arrays
+// exactly, a fill pass places each edge, and a final pass sorts and
+// deduplicates per operation. Lock-free and allocation-exact, unlike the
+// txn.AddEdge path (which remains for runtime edge bridging during aborts).
+// The edge buffers and position arrays are builder scratch; the backing
+// arrays the operations end up pointing into are fresh per batch.
+func (b *Builder) linkEdges(g *Graph, numEdges int) {
+	nOps := len(g.Ops)
+	// Count, then convert to running start offsets in place.
+	b.childPos = grownPos(b.childPos, nOps)
+	b.parentPos = grownPos(b.parentPos, nOps)
+	childPos, parentPos := b.childPos, b.parentPos
+	for si := range b.shards {
+		for _, e := range b.shards[si].edges {
+			childPos[e.p.Index]++
+			parentPos[e.c.Index]++
+		}
+	}
+	var co, po int32
+	for i := 0; i < nOps; i++ {
+		co, childPos[i] = co+childPos[i], co
+		po, parentPos[i] = po+parentPos[i], po
+	}
+	childBuf := make([]*txn.Operation, numEdges)
+	parentBuf := make([]*txn.Operation, numEdges)
+	for si := range b.shards {
+		for _, e := range b.shards[si].edges {
+			pi, ci := e.p.Index, e.c.Index
+			childBuf[childPos[pi]] = e.c
+			childPos[pi]++
+			parentBuf[parentPos[ci]] = e.p
+			parentPos[ci]++
+		}
+	}
+	// After the fill, childPos[i]/parentPos[i] hold the end of region i;
+	// region i starts where region i-1 ends.
+	co, po = 0, 0
+	for _, op := range g.Ops {
+		i := op.Index
+		op.SetEdges(parentBuf[po:parentPos[i]:parentPos[i]], childBuf[co:childPos[i]:childPos[i]])
+		co, po = childPos[i], parentPos[i]
+		op.DedupEdges()
+	}
+}
+
+// entryBefore orders key-list entries by the operations' (ts, id) order.
+func entryBefore(a, b entry) int { return txn.CompareOps(a.op, b.op) }
+
+// searchWrites returns the index of the first write with ts >= t.
+func searchWrites(writes []writeAt, t uint64) int {
+	i, j := 0, len(writes)
+	for i < j {
+		h := (i + j) / 2
+		if writes[h].ts < t {
+			i = h + 1
+		} else {
+			j = h
+		}
+	}
+	return i
+}
+
+// writeAt is one real write in a key list, for PD derivation.
+type writeAt struct {
+	ts uint64
+	op *txn.Operation
+}
+
+// deriveShard sorts every list of one shard and derives its TD/PD edges
+// into the shard's edge buffer. Lists left empty by Reset are skipped.
 func (b *Builder) deriveShard(s *listShard) shardStats {
 	var st shardStats
+	s.edges = s.edges[:0]
+	// writes retains (ts, op) of every real write of the current list; the
+	// buffer is reused across the shard's lists.
+	writes := s.writes
+	defer func() { s.writes = writes[:0] }()
 	for _, l := range s.m {
 		entries := l.entries
-		sort.SliceStable(entries, func(i, j int) bool {
-			ti, tj := entries[i].op.TS(), entries[j].op.TS()
-			if ti != tj {
-				return ti < tj
-			}
-			return entries[i].op.ID < entries[j].op.ID
-		})
+		if len(entries) == 0 {
+			continue
+		}
+		slices.SortStableFunc(entries, entryBefore)
 		st.nLists++
 		st.totList += len(entries)
 		if len(entries) > st.maxList {
@@ -340,28 +502,13 @@ func (b *Builder) deriveShard(s *listShard) shardStats {
 		}
 
 		var lastChain *txn.Operation // last TD-chain participant (real or ndvo)
-		// writes retains (ts, op) of every real write, for window PDs.
-		type writeAt struct {
-			ts uint64
-			op *txn.Operation
-		}
-		var writes []writeAt
-		// lastWriteBefore returns the latest write with ts strictly below
-		// the given timestamp (writes of the same transaction share its
-		// timestamp, so they are naturally excluded).
-		lastWriteBefore := func(ts uint64) *txn.Operation {
-			i := sort.Search(len(writes), func(i int) bool { return writes[i].ts >= ts })
-			if i == 0 {
-				return nil
-			}
-			return writes[i-1].op
-		}
+		writes = writes[:0]
 
 		for _, e := range entries {
 			switch e.kind {
 			case real, ndvo:
 				if lastChain != nil && lastChain != e.op {
-					txn.AddEdge(lastChain, e.op)
+					s.edges = append(s.edges, edgePair{p: lastChain, c: e.op})
 					if lastChain.Txn != e.op.Txn {
 						st.td++
 					}
@@ -379,15 +526,17 @@ func (b *Builder) deriveShard(s *listShard) shardStats {
 					if e.op.TS() > e.window {
 						lo = e.op.TS() - e.window
 					}
-					i := sort.Search(len(writes), func(i int) bool { return writes[i].ts >= lo })
-					for ; i < len(writes) && writes[i].ts < e.op.TS(); i++ {
+					for i := searchWrites(writes, lo); i < len(writes) && writes[i].ts < e.op.TS(); i++ {
 						if writes[i].op.Txn != e.op.Txn {
-							txn.AddEdge(writes[i].op, e.op)
+							s.edges = append(s.edges, edgePair{p: writes[i].op, c: e.op})
 							st.pd++
 						}
 					}
-				} else if w := lastWriteBefore(e.op.TS()); w != nil {
-					txn.AddEdge(w, e.op)
+				} else if i := searchWrites(writes, e.op.TS()); i > 0 {
+					// Latest write strictly below the vo's timestamp; writes
+					// of the same transaction share its timestamp, so they
+					// are naturally excluded.
+					s.edges = append(s.edges, edgePair{p: writes[i-1].op, c: e.op})
 					st.pd++
 				}
 			}

@@ -1,6 +1,10 @@
 package txn
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"morphstream/internal/store"
+)
 
 // opIDs hands out globally unique operation IDs; edge deduplication and
 // deterministic intra-unit ordering rely on them.
@@ -9,9 +13,23 @@ var opIDs atomic.Int64
 // NextOpID returns a fresh operation ID.
 func NextOpID() int64 { return opIDs.Add(1) }
 
+// internKeys resolves a source-key list to dense ids, in order.
+func internKeys(ks []Key) []store.KeyID {
+	if len(ks) == 0 {
+		return nil
+	}
+	ids := make([]store.KeyID, len(ks))
+	for i, k := range ks {
+		ids[i] = store.Intern(k)
+	}
+	return ids
+}
+
 // Builder offers the system-provided APIs of paper Table 5 for composing a
 // state transaction inside STATE_ACCESS. Each call appends one atomic
-// state-access operation to the transaction.
+// state-access operation to the transaction. Keys are interned to dense
+// KeyIDs here, once per operation — the planning, scheduling and execution
+// hot paths only ever touch the ids.
 type Builder struct {
 	t *Transaction
 }
@@ -24,7 +42,10 @@ func Build(t *Transaction) *Builder { return &Builder{t: t} }
 //
 //	READ(Key d, EventBlotter eb)
 func (b *Builder) Read(d Key, fn ReadFn) *Operation {
-	op := &Operation{ID: NextOpID(), Kind: OpRead, Key: d, ReadFn: fn}
+	op := &Operation{
+		ID: NextOpID(), Kind: OpRead, Key: d, KeyID: store.Intern(d),
+		ReadFn: fn, resolvedID: store.NoKeyID,
+	}
 	b.t.AddOp(op)
 	return op
 }
@@ -34,7 +55,11 @@ func (b *Builder) Read(d Key, fn ReadFn) *Operation {
 //
 //	WRITE(Key d, Fun f*(Keys s...n))
 func (b *Builder) Write(d Key, srcs []Key, f WriteFn) *Operation {
-	op := &Operation{ID: NextOpID(), Kind: OpWrite, Key: d, SrcKeys: srcs, WriteFn: f}
+	op := &Operation{
+		ID: NextOpID(), Kind: OpWrite, Key: d, KeyID: store.Intern(d),
+		SrcKeys: srcs, SrcIDs: internKeys(srcs), WriteFn: f,
+		resolvedID: store.NoKeyID,
+	}
 	b.t.AddOp(op)
 	return op
 }
@@ -44,9 +69,11 @@ func (b *Builder) Write(d Key, srcs []Key, f WriteFn) *Operation {
 //
 //	READ(WindowFun win_f*(Key d, Size t), EventBlotter eb)
 func (b *Builder) WindowRead(d Key, size uint64, winf WindowFn) *Operation {
+	id := store.Intern(d)
 	op := &Operation{
-		ID: NextOpID(), Kind: OpWindowRead, Key: d,
-		SrcKeys: []Key{d}, Window: size, WindowFn: winf,
+		ID: NextOpID(), Kind: OpWindowRead, Key: d, KeyID: id,
+		SrcKeys: []Key{d}, SrcIDs: []store.KeyID{id},
+		Window: size, WindowFn: winf, resolvedID: store.NoKeyID,
 	}
 	b.t.AddOp(op)
 	return op
@@ -58,8 +85,9 @@ func (b *Builder) WindowRead(d Key, size uint64, winf WindowFn) *Operation {
 //	WRITE(Key d, WindowFun win_f*(Keys s...n, Size t))
 func (b *Builder) WindowWrite(d Key, srcs []Key, size uint64, winf WindowFn) *Operation {
 	op := &Operation{
-		ID: NextOpID(), Kind: OpWindowWrite, Key: d,
-		SrcKeys: srcs, Window: size, WindowFn: winf,
+		ID: NextOpID(), Kind: OpWindowWrite, Key: d, KeyID: store.Intern(d),
+		SrcKeys: srcs, SrcIDs: internKeys(srcs),
+		Window: size, WindowFn: winf, resolvedID: store.NoKeyID,
 	}
 	b.t.AddOp(op)
 	return op
@@ -69,7 +97,10 @@ func (b *Builder) WindowWrite(d Key, srcs []Key, size uint64, winf WindowFn) *Op
 //
 //	READ(Fun f*, EventBlotter eb)
 func (b *Builder) NDRead(keyf KeyFn, fn ReadFn) *Operation {
-	op := &Operation{ID: NextOpID(), Kind: OpNDRead, KeyFn: keyf, ReadFn: fn}
+	op := &Operation{
+		ID: NextOpID(), Kind: OpNDRead, KeyID: store.NoKeyID,
+		KeyFn: keyf, ReadFn: fn, resolvedID: store.NoKeyID,
+	}
 	b.t.AddOp(op)
 	return op
 }
@@ -80,7 +111,11 @@ func (b *Builder) NDRead(keyf KeyFn, fn ReadFn) *Operation {
 //
 //	WRITE(Fun f1*, Fun f2*)
 func (b *Builder) NDWrite(keyf KeyFn, srcs []Key, valf WriteFn) *Operation {
-	op := &Operation{ID: NextOpID(), Kind: OpNDWrite, KeyFn: keyf, SrcKeys: srcs, WriteFn: valf}
+	op := &Operation{
+		ID: NextOpID(), Kind: OpNDWrite, KeyID: store.NoKeyID,
+		KeyFn: keyf, SrcKeys: srcs, SrcIDs: internKeys(srcs), WriteFn: valf,
+		resolvedID: store.NoKeyID,
+	}
 	b.t.AddOp(op)
 	return op
 }

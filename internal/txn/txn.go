@@ -6,8 +6,9 @@
 package txn
 
 import (
+	"cmp"
 	"errors"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -96,6 +97,11 @@ func (s OpState) String() string {
 // Ctx is handed to UDFs during execution. It exposes the blotter for
 // passing state-access results to post-processing, and the resolved
 // timestamp for window computations.
+//
+// Lifetime: the Ctx and every slice argument a UDF receives are owned by
+// the executor and valid only for the duration of the call — workers reuse
+// them across operations. A UDF must not retain them past its return;
+// anything to keep goes through the blotter (or is copied).
 type Ctx struct {
 	TS      uint64
 	Blotter *EventBlotter
@@ -103,7 +109,8 @@ type Ctx struct {
 
 // UDF signatures. Write functions receive the current values of the
 // operation's source keys in declaration order; window functions receive the
-// in-window versions of each source key.
+// in-window versions of each source key. Arguments follow the Ctx lifetime
+// contract above: valid only during the call.
 type (
 	// ReadFn consumes the value produced by a read-flavoured operation.
 	ReadFn func(ctx *Ctx, v Value) error
@@ -123,12 +130,21 @@ type Operation struct {
 	Kind OpKind
 	Txn  *Transaction
 
+	// Index is the dense per-batch position of the operation inside its
+	// graph's Ops slice, assigned by planning (tpg.Builder.Finalize).
+	// Scheduler and executor structures are flat slices indexed by it.
+	Index int32
+
 	// Key is the target state. For ND operations it is empty until
 	// execution resolves it through KeyFn.
 	Key Key
+	// KeyID is Key interned at build time; NoKeyID for ND operations.
+	KeyID store.KeyID
 	// SrcKeys are the states the write value is computed from; they induce
 	// parametric dependencies.
 	SrcKeys []Key
+	// SrcIDs are the SrcKeys interned at build time, in the same order.
+	SrcIDs []store.KeyID
 	// Window is the event-time window size for window operations.
 	Window uint64
 
@@ -146,14 +162,14 @@ type Operation struct {
 	children []*Operation
 
 	// written records that this operation installed a version at
-	// (WrittenKey, Txn.TS); rollback removes exactly that version. ND
-	// writes resolve WrittenKey at execution time.
-	written    atomic.Bool
-	WrittenKey Key
+	// (writtenID, Txn.TS); rollback removes exactly that version. ND
+	// writes resolve the id at execution time.
+	written   atomic.Bool
+	writtenID store.KeyID
 
-	// resolvedKey caches the ND key resolution for deterministic rollback
+	// resolvedID caches the ND key resolution for deterministic rollback
 	// (paper Section 6.5.2: accessed states are recorded in the S-TPG).
-	resolvedKey Key
+	resolvedID store.KeyID
 }
 
 // TS returns the operation's timestamp: that of its transaction.
@@ -200,6 +216,28 @@ func (o *Operation) Parents() []*Operation { return o.parents }
 // Children returns the operations depending on o.
 func (o *Operation) Children() []*Operation { return o.children }
 
+// CompareOps orders operations by (ts, id) — the system's topological
+// invariant: every TPG edge respects it, so it is a valid execution order
+// for any subset of operations. All sorting of operations funnels through
+// this single definition.
+func CompareOps(a, b *Operation) int {
+	if c := cmp.Compare(a.TS(), b.TS()); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.ID, b.ID)
+}
+
+// SetEdges installs the operation's edge lists wholesale. Planning uses it
+// with slices into shared backing arrays (tpg linkEdges), each capped with
+// a 3-index expression at its own region boundary — so a later AddEdge
+// (abort bridging) appending past an op's region reallocates instead of
+// clobbering the neighbouring op's slice, even after DedupEdges has shrunk
+// the length below the capacity.
+func (o *Operation) SetEdges(parents, children []*Operation) {
+	o.parents = parents
+	o.children = children
+}
+
 // DedupEdges sorts and deduplicates both edge lists by operation ID.
 func (o *Operation) DedupEdges() {
 	o.parents = dedup(o.parents)
@@ -210,7 +248,7 @@ func dedup(ops []*Operation) []*Operation {
 	if len(ops) < 2 {
 		return ops
 	}
-	sort.Slice(ops, func(i, j int) bool { return ops[i].ID < ops[j].ID })
+	slices.SortFunc(ops, func(a, b *Operation) int { return cmp.Compare(a.ID, b.ID) })
 	out := ops[:1]
 	for _, op := range ops[1:] {
 		if op != out[len(out)-1] {
@@ -220,26 +258,39 @@ func dedup(ops []*Operation) []*Operation {
 	return out
 }
 
-// MarkWritten records that the operation installed a version at key k.
-func (o *Operation) MarkWritten(k Key) {
-	o.WrittenKey = k
+// MarkWrittenID records that the operation installed a version at key id.
+func (o *Operation) MarkWrittenID(id store.KeyID) {
+	o.writtenID = id
 	o.written.Store(true)
+}
+
+// MarkWritten records that the operation installed a version at key k.
+func (o *Operation) MarkWritten(k Key) { o.MarkWrittenID(store.Intern(k)) }
+
+// WrittenID reports whether the operation currently has a version
+// installed, and at which key id.
+func (o *Operation) WrittenID() (store.KeyID, bool) {
+	return o.writtenID, o.written.Load()
 }
 
 // Written reports whether the operation currently has a version installed,
 // and at which key.
 func (o *Operation) Written() (Key, bool) {
-	return o.WrittenKey, o.written.Load()
+	id, ok := o.WrittenID()
+	if !ok {
+		return "", false
+	}
+	return store.KeyOf(id), true
 }
 
 // ClearWritten resets the write record after rollback.
 func (o *Operation) ClearWritten() { o.written.Store(false) }
 
-// SetResolvedKey records the run-time key of an ND operation.
-func (o *Operation) SetResolvedKey(k Key) { o.resolvedKey = k }
+// SetResolvedID records the run-time key id of an ND operation.
+func (o *Operation) SetResolvedID(id store.KeyID) { o.resolvedID = id }
 
 // ResolvedKey returns the recorded ND key.
-func (o *Operation) ResolvedKey() Key { return o.resolvedKey }
+func (o *Operation) ResolvedKey() Key { return store.KeyOf(o.resolvedID) }
 
 // Transaction is one state transaction: the operations triggered by a single
 // input event, sharing its timestamp (Section 2.1.1). Its identity also

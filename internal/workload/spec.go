@@ -14,6 +14,7 @@ package workload
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"morphstream/internal/store"
@@ -84,8 +85,34 @@ type Batch struct {
 	State map[Key]int64
 }
 
+// keyNames caches the canonical key strings: generators render the same
+// "k<i>" names millions of times per batch, and the cache also keeps the
+// interned-key working set identical across runs.
+var keyNames struct {
+	mu    sync.RWMutex
+	names []Key
+}
+
 // KeyName renders the canonical key for index i.
-func KeyName(i int) Key { return Key(fmt.Sprintf("k%d", i)) }
+func KeyName(i int) Key {
+	if i < 0 {
+		return Key(fmt.Sprintf("k%d", i))
+	}
+	keyNames.mu.RLock()
+	if i < len(keyNames.names) {
+		k := keyNames.names[i]
+		keyNames.mu.RUnlock()
+		return k
+	}
+	keyNames.mu.RUnlock()
+	keyNames.mu.Lock()
+	for n := len(keyNames.names); n <= i; n++ {
+		keyNames.names = append(keyNames.names, Key(fmt.Sprintf("k%d", n)))
+	}
+	k := keyNames.names[i]
+	keyNames.mu.Unlock()
+	return k
+}
 
 // NDKeyOf is the canonical non-deterministic key resolution: a function of
 // the executing transaction's timestamp, deterministic for replay but

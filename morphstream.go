@@ -64,7 +64,9 @@ type (
 	// TxnBuilder exposes the system-provided state access APIs: Read,
 	// Write, WindowRead, WindowWrite, NDRead, NDWrite.
 	TxnBuilder = txn.Builder
-	// Ctx is handed to user-defined functions during execution.
+	// Ctx is handed to user-defined functions during execution. It and
+	// every slice a UDF receives are only valid for the duration of the
+	// call; copy what you keep, or deposit it in the blotter.
 	Ctx = txn.Ctx
 	// Operator is the three-step operator interface.
 	Operator = engine.Operator
