@@ -295,6 +295,65 @@ func BenchmarkExecStrategies(b *testing.B) {
 	}
 }
 
+// contendedDecisions are the strategy points whose hot loop runs through
+// the executor's per-operation guard (DFS and ns-explore); BFS only
+// synchronises at stratum barriers and is covered by BenchmarkExecStrategies.
+func contendedDecisions() []sched.Decision {
+	return []sched.Decision{
+		{Explore: sched.NSExplore, Gran: sched.FSchedule, Abort: sched.EAbort},
+		{Explore: sched.SExploreDFS, Gran: sched.FSchedule, Abort: sched.EAbort},
+	}
+}
+
+// benchContendedRun times exec.Run alone (materialisation and TPG
+// construction are excluded) with more threads than cores, the worst case
+// for any per-operation synchronisation in the explore hot loop.
+func benchContendedRun(b *testing.B, batch *workload.Batch, d sched.Decision) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		txns, table := batch.Materialize()
+		builder := tpg.NewBuilder(table.Keys)
+		builder.AddTxns(txns, 2)
+		graph := builder.Finalize(2)
+		b.StartTimer()
+		exec.Run(graph, exec.Config{Decision: d, Threads: 4, Table: table})
+	}
+}
+
+// BenchmarkExecContendedExplore stresses the gate-guarded explore hot loop:
+// ns-scale UDFs, no aborts, so synchronisation per operation dominates.
+func BenchmarkExecContendedExplore(b *testing.B) {
+	cfg := workload.DefaultGS()
+	cfg.Txns = 2048
+	cfg.StateSize = 512
+	cfg.ComplexityUS = 0
+	cfg.AbortRatio = 0
+	batch := workload.GS(cfg)
+	for _, d := range contendedDecisions() {
+		b.Run(d.String(), func(b *testing.B) { benchContendedRun(b, batch, d) })
+	}
+}
+
+// BenchmarkExecContendedAbort stresses the abort path under contention: a
+// hot-key workload where ~15% of transactions carry forced failures, so
+// rollback rounds repeatedly fence the explore loop.
+func BenchmarkExecContendedAbort(b *testing.B) {
+	cfg := workload.DefaultGS()
+	cfg.Txns = 1024
+	cfg.StateSize = 128
+	cfg.ComplexityUS = 0
+	cfg.AbortRatio = 0.15
+	batch := workload.GS(cfg)
+	for _, d := range []sched.Decision{
+		{Explore: sched.NSExplore, Gran: sched.FSchedule, Abort: sched.EAbort},
+		{Explore: sched.NSExplore, Gran: sched.FSchedule, Abort: sched.LAbort},
+	} {
+		b.Run(d.String(), func(b *testing.B) { benchContendedRun(b, batch, d) })
+	}
+}
+
 // BenchmarkDecisionModel measures the per-batch cost of the heuristic
 // decision model (it sits on the critical path, Section 5.4).
 func BenchmarkDecisionModel(b *testing.B) {

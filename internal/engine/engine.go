@@ -11,6 +11,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"morphstream/internal/exec"
@@ -77,18 +78,16 @@ type BatchResult struct {
 }
 
 // progressController assigns monotonically increasing timestamps to events
-// and punctuations through a simple global counter (Section 7.2.1).
+// and punctuations through a simple global counter (Section 7.2.1). The
+// counter is a bare atomic: submission is already lock-free here, and the
+// execution layer below is epoch-fenced rather than gate-locked, so no
+// mutex remains on the per-event path.
 type progressController struct {
-	mu   sync.Mutex
-	next uint64
+	next atomic.Uint64
 }
 
 func (pc *progressController) nextTS() uint64 {
-	pc.mu.Lock()
-	pc.next++
-	ts := pc.next
-	pc.mu.Unlock()
-	return ts
+	return pc.next.Add(1)
 }
 
 // cachedEvent pairs an event with its blotter while its state access is

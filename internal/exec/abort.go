@@ -7,11 +7,38 @@ import (
 	"morphstream/internal/txn"
 )
 
+// abortScratch holds the abort handler's reusable traversal state. Abort
+// rounds run repeatedly under high abort ratios, so the closure maps and
+// worklists are cleared and reused instead of reallocated per round.
+type abortScratch struct {
+	abortTxns map[*txn.Transaction]bool
+	visited   map[*txn.Transaction]bool
+	resetTxns map[*txn.Transaction]bool
+	worklist  []*txn.Transaction
+	abtOps    []*txn.Operation
+	parents   []*txn.Operation
+	children  []*txn.Operation
+}
+
+func (sc *abortScratch) reset() {
+	if sc.abortTxns == nil {
+		sc.abortTxns = make(map[*txn.Transaction]bool)
+		sc.visited = make(map[*txn.Transaction]bool)
+		sc.resetTxns = make(map[*txn.Transaction]bool)
+		return
+	}
+	clear(sc.abortTxns)
+	clear(sc.visited)
+	clear(sc.resetTxns)
+}
+
 // handleAborts finalises the abort of every transaction in failed, rolls
 // back their state-table footprint, and resets the downstream closure of
 // affected operations so they re-execute against clean state (paper
-// Section 6.3.2). The caller must hold the write gate: no operation is in
-// flight while this runs.
+// Section 6.3.2). The caller must guarantee quiescence — the epoch fence is
+// up (eagerAbort) or every exploration goroutine has joined (stratum
+// barriers, the final drain loop) — and must have flushed the per-worker
+// result sinks first, so blotter resets below cannot race buffered results.
 //
 // Abort decisions are final, as in the paper's S-TPG: an aborted
 // transaction never re-executes. Resets happen at transaction granularity —
@@ -21,7 +48,9 @@ import (
 func (ex *executor) handleAborts(failed []*txn.Operation) {
 	ex.abortRounds++
 
-	abortTxns := make(map[*txn.Transaction]bool)
+	sc := &ex.abortSc
+	sc.reset()
+	abortTxns, visited, resetTxns := sc.abortTxns, sc.visited, sc.resetTxns
 	for _, op := range failed {
 		abortTxns[op.Txn] = true
 	}
@@ -29,9 +58,7 @@ func (ex *executor) handleAborts(failed []*txn.Operation) {
 	// Structural closure over TD/PD edges. Traversal continues through
 	// already-aborted transactions (their operations wrote nothing, but
 	// their dependents may have read state that is about to roll back).
-	visited := make(map[*txn.Transaction]bool, len(abortTxns))
-	resetTxns := make(map[*txn.Transaction]bool)
-	var worklist []*txn.Transaction
+	worklist := sc.worklist[:0]
 	for t := range abortTxns {
 		visited[t] = true
 		worklist = append(worklist, t)
@@ -53,20 +80,21 @@ func (ex *executor) handleAborts(failed []*txn.Operation) {
 			}
 		}
 	}
+	sc.worklist = worklist[:0]
 
 	// Bridge dependencies around the newly aborted operations: an ABT
 	// vertex settles as a no-op, so the transitive-reduction TD/PD chain
 	// through it would no longer order its neighbours during redo. Every
 	// non-aborted parent is linked directly to every child, in ascending
 	// (ts, id) order so bridges compose across consecutive aborts.
-	var abtOps []*txn.Operation
+	abtOps := sc.abtOps[:0]
 	for t := range abortTxns {
 		abtOps = append(abtOps, t.Ops...)
 	}
 	slices.SortFunc(abtOps, txn.CompareOps)
 	for _, o := range abtOps {
-		parents := append([]*txn.Operation(nil), o.Parents()...)
-		children := append([]*txn.Operation(nil), o.Children()...)
+		parents := append(sc.parents[:0], o.Parents()...)
+		children := append(sc.children[:0], o.Children()...)
 		for _, p := range parents {
 			if p.State() == txn.ABT {
 				continue // p's own bridge already propagated its parents.
@@ -84,7 +112,9 @@ func (ex *executor) handleAborts(failed []*txn.Operation) {
 		for _, p := range parents {
 			p.DedupEdges()
 		}
+		sc.parents, sc.children = parents, children
 	}
+	sc.abtOps = abtOps[:0]
 
 	// Roll back and settle the aborted transactions (T4): remove every
 	// version they installed and pin their operations at ABT.
@@ -119,7 +149,7 @@ func (ex *executor) handleAborts(failed []*txn.Operation) {
 
 // rebuild recomputes the runtime scheduling state — unit completion flags,
 // pending counters, and (under ns-explore) the ready queue — after an abort
-// round mutated operation states. The caller holds the write gate.
+// round mutated operation states. Same quiescence contract as handleAborts.
 func (ex *executor) rebuild() {
 	ex.epoch.Add(1)
 	settled := 0

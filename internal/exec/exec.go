@@ -8,6 +8,16 @@
 // {e-, l-abort}. A serial oracle (Serial) provides the correctness
 // reference: any strategy must be conflict-equivalent to executing the
 // batch in timestamp order.
+//
+// Concurrency model — the execution epoch (epoch.go): there is no global
+// lock around operation execution. Workers enter and leave a per-worker
+// epoch (one padded-atomic increment each way) around every operation; the
+// abort path raises a fence and waits for every worker to quiesce before
+// rolling back state, rewriting edges, and rebuilding the scheduler
+// runtime. Result blotting is sharded the same way: UDF results buffer in
+// per-worker sinks (txn.ResultSink) and merge into the transactions'
+// blotters only at quiescent points, as do the per-worker time-breakdown
+// counters, so the ns-scale hot loop touches no shared cacheline.
 package exec
 
 import (
@@ -58,14 +68,23 @@ type executor struct {
 	completed []atomic.Bool
 	settled   atomic.Int64
 
-	// execGate is read-held around each operation execution; the abort
-	// handler write-holds it so no operation runs while state is mutated.
-	execGate sync.RWMutex
+	// workers holds the per-worker epoch counters (even = quiescent, odd =
+	// inside the epoch); fence is raised by the abort coordinator to
+	// quiesce them. See epoch.go for the protocol.
+	workers []paddedInt64
+	fence   paddedInt64
 	// abortMu serialises abort handling (the "coordinator" of e-abort
 	// under non-structured exploration).
 	abortMu sync.Mutex
 	// epoch increments on every abort round; workers abandon stale units.
 	epoch atomic.Int64
+
+	// scratches are the per-worker scratchpads (UDF ctx, source buffers,
+	// result sink, breakdown counters), indexed by worker id.
+	scratches []scratch
+	// timed enables hot-loop instrumentation (cfg.Breakdown != nil); when
+	// off, the per-operation path takes no clock readings at all.
+	timed bool
 
 	// failed collects operations whose UDF failed, for deferred (l-abort)
 	// or immediate (e-abort) processing.
@@ -73,6 +92,10 @@ type executor struct {
 	failed   []*txn.Operation
 
 	queue *workQueue // ns-explore ready queue
+
+	// abortSc is the abort handler's reusable scratch; rounds are frequent
+	// under high abort ratios and must not churn maps.
+	abortSc abortScratch
 
 	redos       atomic.Int64
 	execs       atomic.Int64
@@ -93,6 +116,9 @@ func Run(g *tpg.Graph, cfg Config) Result {
 		units:     units,
 		unitOf:    make([]*sched.Unit, len(g.Ops)),
 		completed: make([]atomic.Bool, len(units)),
+		workers:   make([]paddedInt64, cfg.Threads),
+		scratches: make([]scratch, cfg.Threads),
+		timed:     cfg.Breakdown != nil,
 	}
 	for _, u := range units {
 		for _, op := range u.Ops {
@@ -120,17 +146,23 @@ func Run(g *tpg.Graph, cfg Config) Result {
 
 	// Lazy abort handling: fixpoint rounds after full exploration. Eager
 	// handling may also leave residual failures (failures marked while an
-	// abort round was already running), so both modes drain here.
+	// abort round was already running), so both modes drain here. The
+	// exploration loops have returned, so every worker is quiescent and no
+	// fence is needed; buffered results must land on the blotters before
+	// rollback resets any of them.
 	for {
 		failed := ex.takeFailed()
 		if len(failed) == 0 {
 			break
 		}
 		sw := metrics.Start()
+		ex.flushResults()
 		ex.handleAborts(failed)
 		sw.Stop(ex.cfg.Breakdown, metrics.Abort)
 		ex.resume()
 	}
+	ex.flushResults()
+	ex.mergeBreakdowns()
 
 	res := Result{
 		AbortRounds: ex.abortRounds,
@@ -195,15 +227,46 @@ func parentsSettled(op *txn.Operation) bool {
 // being allocated per operation. The buffers handed to UDFs are only valid
 // for the duration of the call — MorphStream's operator contract already
 // requires results to go through the blotter, so nothing retains them.
+//
+// sink buffers state-access results so workers never contend on a shared
+// blotter: the executor flushes all sinks at quiescent points (abort
+// fences and batch completion). bd is the worker-local time-breakdown
+// scratch, merged into cfg.Breakdown at stratum boundaries and batch end.
+// The trailing pad keeps adjacent workers' scratchpads off each other's
+// cache lines.
 type scratch struct {
 	ctx    txn.Ctx
 	src    []txn.Value
 	winSrc [][]store.Version
+	sink   txn.ResultSink
+	bd     metrics.Local
+	_      [cacheLineSize]byte
+}
+
+// flushResults merges every worker's buffered results into the
+// transactions' blotters. Callers must guarantee quiescence: either all
+// exploration goroutines have returned, or the abort fence is up.
+func (ex *executor) flushResults() {
+	for i := range ex.scratches {
+		ex.scratches[i].sink.Flush()
+	}
+}
+
+// mergeBreakdowns folds the per-worker breakdown counters into the shared
+// Breakdown. Same quiescence contract as flushResults.
+func (ex *executor) mergeBreakdowns() {
+	if !ex.timed {
+		return
+	}
+	for i := range ex.scratches {
+		ex.scratches[i].bd.FlushTo(ex.cfg.Breakdown)
+	}
 }
 
 // runOp executes a single operation against the state table. It returns
 // false when the operation's UDF failed and the transaction must abort.
-// The caller holds the execution read-gate.
+// The caller is inside the execution epoch (or is the only thread touching
+// the graph, as at stratum barriers).
 func (ex *executor) runOp(op *txn.Operation, sc *scratch) bool {
 	if op.Txn.Aborted() {
 		// A logical dependent already failed: settle as aborted (LD).
@@ -212,7 +275,7 @@ func (ex *executor) runOp(op *txn.Operation, sc *scratch) bool {
 	}
 	op.CASState(txn.BLK, txn.RDY) // T1
 
-	sc.ctx = txn.Ctx{TS: op.TS(), Blotter: op.Txn.Blotter}
+	sc.ctx = txn.Ctx{TS: op.TS(), Blotter: op.Txn.Blotter, Sink: &sc.sink}
 	err := ex.apply(op, sc)
 	if err != nil {
 		op.SetState(txn.ABT) // T4
@@ -240,7 +303,7 @@ func (ex *executor) apply(op *txn.Operation, sc *scratch) error {
 		if op.ReadFn != nil {
 			return op.ReadFn(ctx, v)
 		}
-		ctx.Blotter.AddResult(v)
+		ctx.AddResult(v)
 		return nil
 
 	case txn.OpWrite:
@@ -283,7 +346,7 @@ func (ex *executor) apply(op *txn.Operation, sc *scratch) error {
 			t.WriteID(op.KeyID, ts, v)
 			op.MarkWrittenID(op.KeyID)
 		} else {
-			ctx.Blotter.AddResult(v)
+			ctx.AddResult(v)
 		}
 		return nil
 
@@ -309,7 +372,7 @@ func (ex *executor) apply(op *txn.Operation, sc *scratch) error {
 			if op.ReadFn != nil {
 				return op.ReadFn(ctx, v)
 			}
-			ctx.Blotter.AddResult(v)
+			ctx.AddResult(v)
 			return nil
 		}
 		// ND write: the key is being created, so interning is the point.

@@ -28,12 +28,13 @@ func (ex *executor) runBFS() {
 		if ex.cfg.Decision.Abort == sched.EAbort {
 			failed := ex.takeFailed()
 			if len(failed) > 0 {
+				// The stratum barrier already joined every worker, so the
+				// world is quiescent without a fence.
 				ex.abortMu.Lock()
-				ex.execGate.Lock()
 				sw := metrics.Start()
+				ex.flushResults()
 				ex.handleAborts(failed)
 				sw.Stop(ex.cfg.Breakdown, metrics.Abort)
-				ex.execGate.Unlock()
 				ex.abortMu.Unlock()
 				// Restart from the outermost stratum with unsettled work.
 				r = ex.lowestUnsettledRank()
@@ -66,58 +67,67 @@ func (ex *executor) lowestUnsettledRank() int {
 }
 
 // parallelStratum fans the units of one stratum out to the executor
-// threads via an atomic index, then waits on the barrier.
+// threads via an atomic index, then waits on the barrier and merges the
+// workers' breakdown scratch into the shared counters.
 func (ex *executor) parallelStratum(stratum []*sched.Unit) {
 	threads := ex.cfg.Threads
 	if threads > len(stratum) {
 		threads = len(stratum)
 	}
 	if threads <= 1 {
-		var sc scratch
+		sc := &ex.scratches[0]
 		for _, u := range stratum {
-			ex.runUnitOps(u, &sc)
+			ex.runUnitOps(u, sc)
 		}
+		ex.mergeBreakdowns()
 		return
 	}
 	var idx atomic.Int64
 	var wg sync.WaitGroup
 	for t := 0; t < threads; t++ {
 		wg.Add(1)
-		go func() {
+		go func(t int) {
 			defer wg.Done()
-			var sc scratch
+			sc := &ex.scratches[t]
 			for {
 				i := int(idx.Add(1)) - 1
 				if i >= len(stratum) {
 					return
 				}
-				ex.runUnitOps(stratum[i], &sc)
+				ex.runUnitOps(stratum[i], sc)
 			}
-		}()
+		}(t)
 	}
 	sw := metrics.Start()
 	wg.Wait()
 	sw.Stop(ex.cfg.Breakdown, metrics.Sync)
+	ex.mergeBreakdowns()
 }
 
 // runUnitOps executes every unsettled operation of a unit in (ts, id)
-// order, ungated: BFS mutates scheduling state only at stratum barriers,
-// so no gate is needed while a stratum runs.
+// order, outside the epoch protocol: BFS mutates scheduling state only at
+// stratum barriers, so no fence coordination is needed while a stratum
+// runs.
 func (ex *executor) runUnitOps(u *sched.Unit, sc *scratch) {
 	for _, op := range u.Ops {
 		if settledOp(op) {
 			continue
 		}
-		sw := metrics.Start()
+		var sw metrics.Stopwatch
+		if ex.timed {
+			sw = metrics.Start()
+		}
 		ok := ex.runOp(op, sc)
-		sw.Stop(ex.cfg.Breakdown, metrics.Useful)
+		if ex.timed {
+			sw.StopLocal(&sc.bd, metrics.Useful)
+		}
 		if !ok {
 			ex.recordFailure(op)
 		}
 	}
 }
 
-// runStatus reports the outcome of a gated execution attempt.
+// runStatus reports the outcome of an epoch-guarded execution attempt.
 type runStatus int8
 
 const (
@@ -130,30 +140,37 @@ const (
 	runAbandon
 )
 
-// gatedRun executes one operation under the read-gate. myEpoch >= 0 enables
-// stale-unit abandonment (ns-explore). Edge lists may be rewritten by the
-// abort handler, so the dependency check happens inside the gate too.
-func (ex *executor) gatedRun(op *txn.Operation, myEpoch int64, sc *scratch) runStatus {
-	ex.execGate.RLock()
+// epochRun executes one operation inside the execution epoch. myEpoch >= 0
+// enables stale-unit abandonment (ns-explore). Edge lists may be rewritten
+// by the abort handler, so the dependency check happens inside the epoch
+// too; the abort handler can only run while no worker is inside.
+func (ex *executor) epochRun(op *txn.Operation, myEpoch int64, wid int) runStatus {
+	sc := &ex.scratches[wid]
+	ex.enterExec(wid)
 	if myEpoch >= 0 && ex.epoch.Load() != myEpoch {
-		ex.execGate.RUnlock()
+		ex.exitExec(wid)
 		return runAbandon
 	}
 	if settledOp(op) {
-		ex.execGate.RUnlock()
+		ex.exitExec(wid)
 		return runDone
 	}
 	if !parentsSettled(op) {
-		ex.execGate.RUnlock()
+		ex.exitExec(wid)
 		if myEpoch >= 0 {
 			return runAbandon
 		}
 		return runNotReady
 	}
-	sw := metrics.Start()
+	var sw metrics.Stopwatch
+	if ex.timed {
+		sw = metrics.Start()
+	}
 	ok := ex.runOp(op, sc)
-	sw.Stop(ex.cfg.Breakdown, metrics.Useful)
-	ex.execGate.RUnlock()
+	if ex.timed {
+		sw.StopLocal(&sc.bd, metrics.Useful)
+	}
+	ex.exitExec(wid)
 	if !ok {
 		ex.recordFailure(op)
 		if ex.cfg.Decision.Abort == sched.EAbort {
@@ -165,16 +182,18 @@ func (ex *executor) gatedRun(op *txn.Operation, myEpoch int64, sc *scratch) runS
 
 // eagerAbort is the coordinator path of e-abort under non-structured and
 // DFS exploration: the detecting thread drains the failure set and performs
-// rollback while all other threads are fenced out by the write gate.
+// rollback while all other threads are held out by the epoch fence. The
+// caller must not be inside the epoch.
 func (ex *executor) eagerAbort() {
 	ex.abortMu.Lock()
 	failed := ex.takeFailed()
 	if len(failed) > 0 {
-		ex.execGate.Lock()
-		sw := metrics.Start()
-		ex.handleAborts(failed)
-		sw.Stop(ex.cfg.Breakdown, metrics.Abort)
-		ex.execGate.Unlock()
+		ex.quiesce(func() {
+			sw := metrics.Start()
+			ex.flushResults()
+			ex.handleAborts(failed)
+			sw.Stop(ex.cfg.Breakdown, metrics.Abort)
+		})
 	}
 	ex.abortMu.Unlock()
 }
@@ -204,7 +223,7 @@ func (ex *executor) runDFS() {
 }
 
 func (ex *executor) dfsWorker(id, threads int) {
-	var sc scratch
+	sc := &ex.scratches[id]
 	for {
 		progressed := false
 		for i := id; i < len(ex.units); i += threads {
@@ -213,7 +232,7 @@ func (ex *executor) dfsWorker(id, threads int) {
 				if settledOp(op) {
 					continue
 				}
-				if ex.gatedRun(op, -1, &sc) == runDone {
+				if ex.epochRun(op, -1, id) == runDone {
 					progressed = true
 				}
 			}
@@ -229,23 +248,28 @@ func (ex *executor) dfsWorker(id, threads int) {
 				progressed = true
 			}
 		}
-		if ex.dfsFinished() {
+		if ex.dfsFinished(id) {
 			return
 		}
 		if !progressed {
-			sw := metrics.Start()
+			var sw metrics.Stopwatch
+			if ex.timed {
+				sw = metrics.Start()
+			}
 			runtime.Gosched()
-			sw.Stop(ex.cfg.Breakdown, metrics.Explore)
+			if ex.timed {
+				sw.StopLocal(&sc.bd, metrics.Explore)
+			}
 		}
 	}
 }
 
-// dfsFinished checks, under the read gate, that every unit is settled and —
+// dfsFinished checks, inside the epoch, that every unit is settled and —
 // under e-abort — that no failure is pending (a pending failure may reset
 // settled units).
-func (ex *executor) dfsFinished() bool {
-	ex.execGate.RLock()
-	defer ex.execGate.RUnlock()
+func (ex *executor) dfsFinished(wid int) bool {
+	ex.enterExec(wid)
+	defer ex.exitExec(wid)
 	for _, u := range ex.units {
 		if !u.Done() {
 			return false
@@ -265,41 +289,68 @@ func (ex *executor) dfsFinished() bool {
 // signals its dependents. Threads pick work in arbitrary order, maximising
 // available parallelism at the price of signalling overhead.
 func (ex *executor) runNS() {
-	ex.execGate.Lock()
+	// No worker is running yet (first call) or all have joined (resume
+	// after a lazy abort round), so seeding needs no fence.
 	if ex.queue == nil {
-		ex.queue = newWorkQueue()
+		ex.queue = newWorkQueue(len(ex.units))
 	}
 	ex.rebuild() // seeds the queue, computes pending and settled counts
-	ex.execGate.Unlock()
 
 	threads := ex.cfg.Threads
 	var wg sync.WaitGroup
 	for t := 0; t < threads; t++ {
 		wg.Add(1)
-		go func() {
+		go func(t int) {
 			defer wg.Done()
-			ex.nsWorker()
-		}()
+			ex.nsWorker(t)
+		}(t)
 	}
 	wg.Wait()
 }
 
-func (ex *executor) nsWorker() {
-	var sc scratch
+// nsNext claims the next ready unit. The claim (pop plus epoch read)
+// happens inside one epoch section, so a concurrent abort rebuild either
+// ran entirely before it — and the epoch tag is current — or is fenced out
+// until the claim returns. ok=false means the queue is closed and drained.
+func (ex *executor) nsNext(wid int) (u *sched.Unit, myEpoch int64, ok bool) {
+	sc := &ex.scratches[wid]
+	var sw metrics.Stopwatch
+	if ex.timed {
+		sw = metrics.Start()
+	}
+	defer func() {
+		if ex.timed {
+			sw.StopLocal(&sc.bd, metrics.Explore)
+		}
+	}()
 	for {
-		sw := metrics.Start()
-		u := ex.queue.pop()
-		sw.Stop(ex.cfg.Breakdown, metrics.Explore)
-		if u == nil {
+		ex.enterExec(wid)
+		if u := ex.queue.tryPop(); u != nil {
+			e := ex.epoch.Load()
+			ex.exitExec(wid)
+			return u, e, true
+		}
+		closed := ex.queue.isClosed()
+		ex.exitExec(wid)
+		if closed {
+			return nil, 0, false
+		}
+		runtime.Gosched()
+	}
+}
+
+func (ex *executor) nsWorker(wid int) {
+	for {
+		u, myEpoch, ok := ex.nsNext(wid)
+		if !ok {
 			return
 		}
-		myEpoch := ex.epoch.Load()
 		abandoned := false
 		for _, op := range u.Ops {
 			if settledOp(op) {
 				continue
 			}
-			if ex.gatedRun(op, myEpoch, &sc) == runAbandon {
+			if ex.epochRun(op, myEpoch, wid) == runAbandon {
 				abandoned = true
 				break
 			}
@@ -307,9 +358,9 @@ func (ex *executor) nsWorker() {
 		if abandoned {
 			continue
 		}
-		// Propagate completion under the read gate so an abort rebuild
-		// cannot interleave with pending-count decrements.
-		ex.execGate.RLock()
+		// Propagate completion inside the epoch so an abort rebuild cannot
+		// interleave with pending-count decrements.
+		ex.enterExec(wid)
 		if ex.epoch.Load() == myEpoch {
 			if ex.completeUnit(u) {
 				for _, c := range u.Children() {
@@ -323,6 +374,6 @@ func (ex *executor) nsWorker() {
 				ex.queue.close()
 			}
 		}
-		ex.execGate.RUnlock()
+		ex.exitExec(wid)
 	}
 }

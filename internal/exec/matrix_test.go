@@ -1,0 +1,140 @@
+package exec
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"morphstream/internal/store"
+	"morphstream/internal/tpg"
+	"morphstream/internal/txn"
+	"morphstream/internal/workload"
+)
+
+// This file is the strategy-matrix fuzz net: seeded workloads from the
+// paper's generators (internal/workload) are executed under every point of
+// the 3x2x2 decision space and cross-checked against the serial oracle.
+// Randomised cross-checking, rather than per-strategy unit tests, is the
+// correctness regime guarding the lock-free execution epoch.
+
+// matrixCase derives one seeded workload configuration from fuzz inputs.
+type matrixCase struct {
+	kind     string // "SL" or "GS"
+	seed     int64
+	theta    float64
+	abortPct float64
+	txns     int
+	states   int
+}
+
+func (mc matrixCase) batch() *workload.Batch {
+	cfg := workload.Config{
+		StateSize:  mc.states,
+		Theta:      mc.theta,
+		AbortRatio: mc.abortPct,
+		Txns:       mc.txns,
+		Seed:       mc.seed,
+		// ns-scale UDFs: contention, not compute, dominates.
+		ComplexityUS: 0,
+		Length:       2,
+		MultiRatio:   0.5,
+	}
+	if mc.kind == "GS" {
+		cfg.Length = 1
+		cfg.MultiRatio = 1
+	}
+	if mc.kind == "GS" {
+		return workload.GS(cfg)
+	}
+	return workload.SL(cfg)
+}
+
+func buildGraphFromTable(txns []*txn.Transaction, table *store.Table) *tpg.Graph {
+	b := tpg.NewBuilder(table.Keys)
+	b.AddTxns(txns, 2)
+	return b.Finalize(2)
+}
+
+// checkMatrixCase runs one seeded workload through all 12 strategies and
+// fails if any diverges from the serial oracle in final state, abort set,
+// or commit/abort counts.
+func checkMatrixCase(t *testing.T, mc matrixCase) {
+	t.Helper()
+	batch := mc.batch()
+
+	oTxns, oTable := batch.Materialize()
+	oracle := Serial(oTxns, oTable)
+	wantState := oTable.Snapshot()
+	wantAborted := abortedIDs(oTxns)
+
+	for _, d := range allDecisions() {
+		for _, threads := range []int{1, 4} {
+			name := fmt.Sprintf("%s/seed=%d/%v/threads=%d", mc.kind, mc.seed, d, threads)
+			txns, table := batch.Materialize()
+			g := buildGraphFromTable(txns, table)
+			res := Run(g, Config{Decision: d, Threads: threads, Table: table})
+			if res.Committed != oracle.Committed || res.Aborted != oracle.Aborted {
+				t.Errorf("%s: committed/aborted = %d/%d; oracle %d/%d",
+					name, res.Committed, res.Aborted, oracle.Committed, oracle.Aborted)
+			}
+			if got := abortedIDs(txns); !reflect.DeepEqual(got, wantAborted) {
+				t.Errorf("%s: aborted txn set diverges from oracle", name)
+			}
+			if got := table.Snapshot(); !reflect.DeepEqual(got, wantState) {
+				t.Errorf("%s: final state diverges from oracle", name)
+			}
+		}
+	}
+}
+
+// TestStrategyMatrixSeededWorkloads sweeps the generator space: both
+// workload kinds, uniform and skewed access, and abort ratios from none to
+// extreme (forced failures land on every strategy's e-abort and l-abort
+// paths alike).
+func TestStrategyMatrixSeededWorkloads(t *testing.T) {
+	cases := []matrixCase{
+		{kind: "SL", seed: 1, theta: 0.2, abortPct: 0, txns: 150, states: 16},
+		{kind: "SL", seed: 2, theta: 0.9, abortPct: 0.1, txns: 150, states: 12},
+		{kind: "SL", seed: 3, theta: 0.6, abortPct: 0.3, txns: 120, states: 8},
+		{kind: "GS", seed: 4, theta: 0.2, abortPct: 0, txns: 150, states: 16},
+		{kind: "GS", seed: 5, theta: 0.9, abortPct: 0.1, txns: 150, states: 12},
+		{kind: "GS", seed: 6, theta: 0.6, abortPct: 0.3, txns: 120, states: 8},
+		// Hot-key pathology: nearly every transaction collides.
+		{kind: "SL", seed: 7, theta: 1.2, abortPct: 0.2, txns: 100, states: 4},
+		{kind: "GS", seed: 8, theta: 1.2, abortPct: 0.2, txns: 100, states: 4},
+	}
+	if testing.Short() {
+		cases = cases[:4]
+	}
+	for _, mc := range cases {
+		mc := mc
+		t.Run(fmt.Sprintf("%s/seed=%d/a=%v", mc.kind, mc.seed, mc.abortPct), func(t *testing.T) {
+			checkMatrixCase(t, mc)
+		})
+	}
+}
+
+// FuzzStrategyMatrix is the native fuzz entry point: arbitrary seeds,
+// skew, and abort ratios are reduced to a bounded workload and checked
+// against the oracle across the full matrix. Under plain `go test` it runs
+// the corpus below; `go test -fuzz=FuzzStrategyMatrix ./internal/exec`
+// explores further.
+func FuzzStrategyMatrix(f *testing.F) {
+	f.Add(int64(42), uint8(20), uint8(10), false)
+	f.Add(int64(99), uint8(120), uint8(40), true)
+	f.Add(int64(7), uint8(0), uint8(0), false)
+	f.Fuzz(func(t *testing.T, seed int64, theta, abortPct uint8, gs bool) {
+		mc := matrixCase{
+			kind:     "SL",
+			seed:     seed,
+			theta:    float64(theta%130) / 100, // [0, 1.3)
+			abortPct: float64(abortPct%50) / 100,
+			txns:     100,
+			states:   8,
+		}
+		if gs {
+			mc.kind = "GS"
+		}
+		checkMatrixCase(t, mc)
+	})
+}

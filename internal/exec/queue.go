@@ -1,7 +1,8 @@
 package exec
 
 import (
-	"sync"
+	"runtime"
+	"sync/atomic"
 
 	"morphstream/internal/sched"
 )
@@ -10,56 +11,76 @@ import (
 // dependencies are fully resolved wait here for any free thread. It plays
 // the role of the paper's per-thread "signal holders": completing a unit
 // signals dependents by pushing them.
+//
+// The queue is a bounded MPMC ring in the same padded-atomic style as the
+// executor's epoch counters: a push claims a slot with one fetch-add on
+// the tail cursor, a pop claims the head index with a CAS, and neither
+// takes a lock. Capacity discipline makes the ring safe: every unit is
+// enqueued at most once per execution epoch (guarded by Unit.Claimed), so
+// a buffer of len(units) slots never wraps, and reset() — which reopens
+// the ring after an abort round — runs only under the abort fence (or with
+// all workers joined), never concurrently with a push or pop.
 type workQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []*sched.Unit
-	closed bool
+	head   paddedInt64 // next slot to pop
+	tail   paddedInt64 // next slot to push
+	closed paddedInt64 // non-zero once every unit is settled
+	buf    []atomic.Pointer[sched.Unit]
 }
 
-func newWorkQueue() *workQueue {
-	q := &workQueue{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
+func newWorkQueue(capacity int) *workQueue {
+	return &workQueue{buf: make([]atomic.Pointer[sched.Unit], capacity)}
 }
 
-// push enqueues a ready unit and wakes one waiting worker.
+// push publishes a ready unit. Callers run inside the execution epoch (or
+// under the abort fence), so a push never races a reset.
 func (q *workQueue) push(u *sched.Unit) {
-	q.mu.Lock()
-	q.items = append(q.items, u)
-	q.mu.Unlock()
-	q.cond.Signal()
+	i := q.tail.v.Add(1) - 1
+	q.buf[i].Store(u)
 }
 
-// pop blocks until a unit is available or the queue is closed; it returns
-// nil on close.
-func (q *workQueue) pop() *sched.Unit {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
-		q.cond.Wait()
+// tryPop claims the next unit, or returns nil when the ring is currently
+// empty. Must be called inside the execution epoch.
+func (q *workQueue) tryPop() *sched.Unit {
+	for {
+		h := q.head.v.Load()
+		if h >= q.tail.v.Load() {
+			return nil
+		}
+		if !q.head.v.CompareAndSwap(h, h+1) {
+			continue
+		}
+		// Slot h is now exclusively ours, but the publishing Store may
+		// still be in flight (push bumps tail before filling the slot), so
+		// wait for the unit to appear.
+		for {
+			if u := q.buf[h].Load(); u != nil {
+				return u
+			}
+			runtime.Gosched()
+		}
 	}
-	if len(q.items) == 0 {
-		return nil
-	}
-	u := q.items[0]
-	q.items = q.items[1:]
-	return u
 }
 
-// close wakes all workers; subsequent pops drain remaining items then
-// return nil.
+// close marks the queue finished; pops drain remaining items, then callers
+// observing isClosed stop.
 func (q *workQueue) close() {
-	q.mu.Lock()
-	q.closed = true
-	q.mu.Unlock()
-	q.cond.Broadcast()
+	q.closed.v.Store(1)
 }
 
-// reset clears all queued items and reopens the queue (abort rebuild).
+// isClosed reports whether the queue has been closed.
+func (q *workQueue) isClosed() bool {
+	return q.closed.v.Load() != 0
+}
+
+// reset clears all queued items and reopens the queue (abort rebuild). The
+// caller must guarantee quiescence; slots are nilled so a pop after reset
+// can never observe a unit published before it.
 func (q *workQueue) reset() {
-	q.mu.Lock()
-	q.items = q.items[:0]
-	q.closed = false
-	q.mu.Unlock()
+	t := q.tail.v.Load()
+	for i := int64(0); i < t && i < int64(len(q.buf)); i++ {
+		q.buf[i].Store(nil)
+	}
+	q.head.v.Store(0)
+	q.tail.v.Store(0)
+	q.closed.v.Store(0)
 }

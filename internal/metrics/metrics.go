@@ -117,6 +117,33 @@ func (b *Breakdown) String() string {
 	return s + "}"
 }
 
+// Local is a per-worker breakdown scratchpad: plain (non-atomic) counters a
+// single worker accumulates into during its hot loop, merged into the shared
+// Breakdown at stratum boundaries or at the end of a batch. It keeps the
+// ns-scale execution path free of shared-cacheline atomics.
+type Local struct {
+	buckets [numCategories]int64
+}
+
+// Add accumulates d into category c. Not safe for concurrent use; each
+// worker owns its Local exclusively.
+func (l *Local) Add(c Category, d time.Duration) {
+	l.buckets[c] += int64(d)
+}
+
+// FlushTo merges the accumulated counters into b (which may be nil) and
+// zeroes the scratchpad.
+func (l *Local) FlushTo(b *Breakdown) {
+	for c := range l.buckets {
+		if v := l.buckets[c]; v != 0 {
+			if b != nil {
+				b.buckets[c].Add(v)
+			}
+			l.buckets[c] = 0
+		}
+	}
+}
+
 // Stopwatch measures one interval for a Breakdown bucket.
 type Stopwatch struct{ start time.Time }
 
@@ -128,6 +155,11 @@ func (s Stopwatch) Stop(b *Breakdown, c Category) {
 	if b != nil {
 		b.Add(c, time.Since(s.start))
 	}
+}
+
+// StopLocal accumulates the elapsed time into a worker-local scratchpad.
+func (s Stopwatch) StopLocal(l *Local, c Category) {
+	l.Add(c, time.Since(s.start))
 }
 
 // LatencyRecorder collects end-to-end event latencies and reports

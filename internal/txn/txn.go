@@ -105,6 +105,58 @@ func (s OpState) String() string {
 type Ctx struct {
 	TS      uint64
 	Blotter *EventBlotter
+	// Sink, when non-nil, buffers results in a per-worker ResultSink
+	// instead of appending to the blotter directly. The executor sets it so
+	// concurrent workers never touch a shared blotter mid-batch.
+	Sink *ResultSink
+}
+
+// AddResult deposits a state-access result for post-processing. UDFs must
+// use this (rather than Ctx.Blotter.AddResult) so results are routed
+// through the executing worker's lock-free sink when one is installed.
+func (c *Ctx) AddResult(v Value) {
+	if c.Sink != nil {
+		c.Sink.add(c.Blotter, v)
+		return
+	}
+	c.Blotter.AddResult(v)
+}
+
+// ResultSink is a per-worker result buffer: during parallel execution each
+// worker appends (blotter, value) pairs to its own sink with no
+// synchronisation, and the executor merges sinks into the transactions'
+// blotters only at quiescent points (abort fences and batch completion),
+// where no operation is in flight.
+type ResultSink struct {
+	entries []sinkEntry
+}
+
+type sinkEntry struct {
+	b *EventBlotter
+	v Value
+}
+
+func (s *ResultSink) add(b *EventBlotter, v Value) {
+	s.entries = append(s.entries, sinkEntry{b: b, v: v})
+}
+
+// Len reports the number of buffered results.
+func (s *ResultSink) Len() int { return len(s.entries) }
+
+// Flush appends every buffered result to its blotter, in buffer (i.e.
+// per-worker execution) order, and empties the sink. The executor calls it
+// only at quiescent points — no operation in flight — so the per-blotter
+// locks below are always uncontended; they exist to stay coherent with
+// direct EventBlotter.AddResult callers.
+func (s *ResultSink) Flush() {
+	for i := range s.entries {
+		e := &s.entries[i]
+		e.b.mu.Lock()
+		e.b.results = append(e.b.results, e.v)
+		e.b.mu.Unlock()
+		*e = sinkEntry{} // drop references so flushed values can be collected
+	}
+	s.entries = s.entries[:0]
 }
 
 // UDF signatures. Write functions receive the current values of the
@@ -347,10 +399,17 @@ func (t *Transaction) ResetAbort() {
 	t.selfFailed.Store(false)
 }
 
-// EventBlotter is the thread-local auxiliary structure bridging the stream
-// processing phase and the transaction processing phase (paper Section 7.1).
+// EventBlotter is the auxiliary structure bridging the stream processing
+// phase and the transaction processing phase (paper Section 7.1).
 // Pre-processing parses parameters into it; state access deposits results;
 // post-processing consumes them.
+//
+// Threading contract: the executor never locks a blotter on its ns-scale
+// hot loop — execution-time results travel through Ctx.AddResult into
+// per-worker ResultSinks and are merged only at quiescent points, where no
+// operation is in flight. The mutex below is the safety net for the public
+// API only (a UDF calling Blotter.AddResult directly, legacy style): those
+// direct calls stay race-free, they just forgo the lock-free path.
 type EventBlotter struct {
 	mu sync.Mutex
 	// Params holds values extracted by pre-processing (read/write sets etc).
@@ -364,8 +423,9 @@ func NewEventBlotter() *EventBlotter {
 	return &EventBlotter{Params: make(map[string]Value)}
 }
 
-// AddResult appends a state-access result. Operations of the same
-// transaction may execute on different threads, hence the lock.
+// AddResult appends a state-access result directly, under the blotter
+// mutex. UDFs should prefer Ctx.AddResult, which buffers in the executing
+// worker's sink and touches no shared state.
 func (b *EventBlotter) AddResult(v Value) {
 	b.mu.Lock()
 	b.results = append(b.results, v)

@@ -137,6 +137,9 @@ func TestWrittenRecord(t *testing.T) {
 func TestBlotter(t *testing.T) {
 	b := NewEventBlotter()
 	b.Params["amount"] = int64(7)
+	// Direct AddResult is the legacy public-API path; it must stay safe
+	// for concurrent callers even though the executor routes results
+	// through per-worker sinks instead.
 	var wg sync.WaitGroup
 	for i := 0; i < 10; i++ {
 		wg.Add(1)
@@ -152,6 +155,69 @@ func TestBlotter(t *testing.T) {
 	b.Reset()
 	if got := len(b.Results()); got != 0 {
 		t.Fatalf("results after reset = %d; want 0", got)
+	}
+}
+
+// TestResultSinkRouting pins the execution-time blotting contract: with a
+// sink installed, Ctx.AddResult buffers results per worker and only Flush
+// lands them on the blotters; without one it falls through directly.
+func TestResultSinkRouting(t *testing.T) {
+	b1, b2 := NewEventBlotter(), NewEventBlotter()
+	var sink ResultSink
+
+	direct := Ctx{Blotter: b1}
+	direct.AddResult(int64(1))
+	if got := len(b1.Results()); got != 1 {
+		t.Fatalf("direct results = %d; want 1", got)
+	}
+
+	buffered := Ctx{Blotter: b1, Sink: &sink}
+	buffered.AddResult(int64(2))
+	buffered.Blotter = b2
+	buffered.AddResult(int64(3))
+	if got := len(b1.Results()); got != 1 {
+		t.Fatalf("b1 grew before flush: %d results", got)
+	}
+	if sink.Len() != 2 {
+		t.Fatalf("sink holds %d entries; want 2", sink.Len())
+	}
+
+	sink.Flush()
+	if sink.Len() != 0 {
+		t.Fatalf("sink not emptied by flush")
+	}
+	if got := b1.Results(); len(got) != 2 || got[1].(int64) != 2 {
+		t.Fatalf("b1 after flush = %v; want [1 2]", got)
+	}
+	if got := b2.Results(); len(got) != 1 || got[0].(int64) != 3 {
+		t.Fatalf("b2 after flush = %v; want [3]", got)
+	}
+}
+
+// TestConcurrentSinksIndependent exercises the intended parallel pattern:
+// many workers blotting through their own sinks concurrently, flushed
+// sequentially at a quiescent point.
+func TestConcurrentSinksIndependent(t *testing.T) {
+	const workers, perWorker = 8, 500
+	b := NewEventBlotter()
+	sinks := make([]ResultSink, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := Ctx{Blotter: b, Sink: &sinks[w]}
+			for i := 0; i < perWorker; i++ {
+				ctx.AddResult(int64(w*perWorker + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := range sinks {
+		sinks[w].Flush()
+	}
+	if got := len(b.Results()); got != workers*perWorker {
+		t.Fatalf("results = %d; want %d", got, workers*perWorker)
 	}
 }
 

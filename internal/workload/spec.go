@@ -217,7 +217,7 @@ func (s TxnSpec) Materialize() *txn.Transaction {
 				if !ok {
 					return txn.ErrAbort
 				}
-				ctx.Blotter.AddResult(r)
+				ctx.AddResult(r)
 				return nil
 			})
 		case op.Fn == FnRead && op.ND:
@@ -228,7 +228,7 @@ func (s TxnSpec) Materialize() *txn.Transaction {
 				if !ok {
 					return txn.ErrAbort
 				}
-				ctx.Blotter.AddResult(r)
+				ctx.AddResult(r)
 				return nil
 			})
 		case op.Fn == FnWindowSum && op.WindowWrite:
