@@ -307,8 +307,11 @@ func contendedDecisions() []sched.Decision {
 
 // benchContendedRun times exec.Run alone (materialisation and TPG
 // construction are excluded) with more threads than cores, the worst case
-// for any per-operation synchronisation in the explore hot loop.
-func benchContendedRun(b *testing.B, batch *workload.Batch, d sched.Decision) {
+// for any per-operation synchronisation in the explore hot loop. shards=0
+// means the automatic KeyID-range partition (one shard per worker);
+// shards=1 degenerates to the PR 2 single-ring layout, isolating the
+// sharding delta.
+func benchContendedRun(b *testing.B, batch *workload.Batch, d sched.Decision, shards int) {
 	b.Helper()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -318,8 +321,18 @@ func benchContendedRun(b *testing.B, batch *workload.Batch, d sched.Decision) {
 		builder.AddTxns(txns, 2)
 		graph := builder.Finalize(2)
 		b.StartTimer()
-		exec.Run(graph, exec.Config{Decision: d, Threads: 4, Table: table})
+		exec.Run(graph, exec.Config{Decision: d, Threads: 4, Shards: shards, Table: table})
 	}
+}
+
+// shardVariants names the two layouts every contended benchmark runs.
+type shardVariant struct {
+	name   string
+	shards int
+}
+
+func shardVariants() []shardVariant {
+	return []shardVariant{{"shards=1", 1}, {"shards=auto", 0}}
 }
 
 // BenchmarkExecContendedExplore stresses the gate-guarded explore hot loop:
@@ -332,7 +345,9 @@ func BenchmarkExecContendedExplore(b *testing.B) {
 	cfg.AbortRatio = 0
 	batch := workload.GS(cfg)
 	for _, d := range contendedDecisions() {
-		b.Run(d.String(), func(b *testing.B) { benchContendedRun(b, batch, d) })
+		for _, v := range shardVariants() {
+			b.Run(d.String()+"/"+v.name, func(b *testing.B) { benchContendedRun(b, batch, d, v.shards) })
+		}
 	}
 }
 
@@ -350,7 +365,9 @@ func BenchmarkExecContendedAbort(b *testing.B) {
 		{Explore: sched.NSExplore, Gran: sched.FSchedule, Abort: sched.EAbort},
 		{Explore: sched.NSExplore, Gran: sched.FSchedule, Abort: sched.LAbort},
 	} {
-		b.Run(d.String(), func(b *testing.B) { benchContendedRun(b, batch, d) })
+		for _, v := range shardVariants() {
+			b.Run(d.String()+"/"+v.name, func(b *testing.B) { benchContendedRun(b, batch, d, v.shards) })
+		}
 	}
 }
 

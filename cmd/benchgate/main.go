@@ -1,0 +1,129 @@
+// Command benchgate is the CI bench-regression gate: it parses two
+// `go test -bench` outputs (a checked-in baseline and a fresh run) and
+// fails when any benchmark regressed past the threshold. A regression
+// counts only when BOTH the median and the minimum time/op of the -count
+// repetitions exceed the baseline's by the threshold factor: scheduler
+// noise on shared runners inflates the median of one run or spikes a few
+// samples, but only a real slowdown lifts the floor and the centre
+// together (the same philosophy as benchstat's significance filter). The
+// tool is dependency-free on purpose — benchstat renders the comparison
+// for humans in CI, but the pass/fail decision must not hinge on
+// downloading x/perf.
+//
+// Usage:
+//
+//	benchgate -old bench_baseline.txt -new bench_new.txt [-threshold 1.20]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches e.g.
+//
+//	BenchmarkExecContendedExplore/ns-explore/f-schedule/e-abort-4  50  2917949 ns/op  738384 B/op  20894 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parse returns benchmark name -> ns/op samples (one per -count repeat).
+func parse(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		out[m[1]] = append(out[m[1]], ns)
+	}
+	return out, sc.Err()
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func min(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "bench_baseline.txt", "baseline benchmark output")
+		newPath   = flag.String("new", "bench_new.txt", "fresh benchmark output")
+		threshold = flag.Float64("threshold", 1.20, "fail when new median time/op exceeds old by this factor")
+	)
+	flag.Parse()
+
+	oldRes, err := parse(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	newRes, err := parse(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if len(oldRes) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmarks in baseline %s\n", *oldPath)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(oldRes))
+	for name := range oldRes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		newSamples, ok := newRes[name]
+		if !ok {
+			fmt.Printf("FAIL %-70s missing from new run\n", name)
+			failed = true
+			continue
+		}
+		oldMed, newMed := median(oldRes[name]), median(newSamples)
+		medRatio := newMed / oldMed
+		minRatio := min(newSamples) / min(oldRes[name])
+		status := "ok  "
+		if medRatio > *threshold && minRatio > *threshold {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-70s %12.0f -> %12.0f ns/op (median %+.1f%%, min %+.1f%%)\n",
+			status, name, oldMed, newMed, (medRatio-1)*100, (minRatio-1)*100)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: time/op regression beyond %.0f%% (or missing benchmark)\n", (*threshold-1)*100)
+		os.Exit(1)
+	}
+}

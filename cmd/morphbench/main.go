@@ -26,8 +26,21 @@ func main() {
 		scale   = flag.Float64("scale", 0.25, "workload scale factor (1.0 = paper-sized Table 6 defaults)")
 		threads = flag.Int("threads", harness.Threads(), "executor threads")
 		list    = flag.Bool("list", false, "list available experiments")
+		quick   = flag.Bool("quick", false, "CI smoke: one tiny fig11 slice, non-zero exit on failure")
 	)
 	flag.Parse()
+
+	if *quick {
+		start := time.Now()
+		report := harness.Fig11(harness.Scale(0.02), 2)
+		if report == nil || len(report.Rows) == 0 {
+			fmt.Fprintln(os.Stderr, "quick smoke: fig11 produced no rows")
+			os.Exit(1)
+		}
+		fmt.Println(report.String())
+		fmt.Printf("(quick smoke completed in %v)\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	s := harness.Scale(*scale)
 	experiments := map[string]func() *harness.Report{

@@ -60,7 +60,8 @@ var transferOp = morphstream.OperatorFuncs{
 }
 
 func main() {
-	eng := morphstream.New(morphstream.Config{Threads: 4, Cleanup: true})
+	eng := morphstream.New(morphstream.Config{Threads: 4, Cleanup: true},
+		morphstream.WithShards(2))
 	eng.Table().Preload("alice", int64(100))
 	eng.Table().Preload("bob", int64(50))
 	eng.Table().Preload("carol", int64(0))

@@ -49,6 +49,10 @@ type Operator interface {
 type Config struct {
 	// Threads is the number of executor threads.
 	Threads int
+	// Shards is the number of KeyID-range partitions of the execution
+	// layer (per-shard ready rings and parking lots); 0 picks the
+	// smallest power of two >= Threads. See morphstream.WithShards.
+	Shards int
 	// Strategy pins a scheduling decision; nil enables the adaptive
 	// decision model (Fig. 7).
 	Strategy *sched.Decision
@@ -130,8 +134,21 @@ type Engine struct {
 	batches int
 }
 
+// Option customises an Engine's Config beyond its literal fields; the
+// public morphstream package re-exports the constructors (WithShards, ...).
+type Option func(*Config)
+
+// WithShards pins the number of KeyID-range executor shards; 0 restores
+// the automatic choice (next power of two >= Threads).
+func WithShards(n int) Option {
+	return func(c *Config) { c.Shards = n }
+}
+
 // New creates an engine over a fresh state table.
-func New(cfg Config) *Engine {
+func New(cfg Config, opts ...Option) *Engine {
+	for _, o := range opts {
+		o(&cfg)
+	}
 	if cfg.Threads < 1 {
 		cfg.Threads = 1
 	}
@@ -243,6 +260,7 @@ func (e *Engine) Punctuate() *BatchResult {
 			results[i] = exec.Run(j.graph, exec.Config{
 				Decision:  j.decision,
 				Threads:   threads,
+				Shards:    e.cfg.Shards,
 				Table:     e.table,
 				Breakdown: e.Breakdown,
 			})
@@ -256,6 +274,8 @@ func (e *Engine) Punctuate() *BatchResult {
 		res.AbortRounds += r.AbortRounds
 		res.Redos += r.Redos
 		res.OpsExecuted += r.OpsExecuted
+		res.Steals += r.Steals
+		res.Parks += r.Parks
 	}
 
 	// Post-processing of cached events (mode switch back, Algorithm 1).
@@ -278,8 +298,16 @@ func (e *Engine) Punctuate() *BatchResult {
 	// Clean-up of temporal objects (Section 8.3.3). Active group planners
 	// are reset, not discarded: the TPG builder retains its per-key lists
 	// and scratch buffers so steady-state planning is allocation-free.
-	// Groups idle for a whole punctuation are evicted, bounding memory by
-	// the live group working set rather than every group id ever seen.
+	// Graphs are recycled into their builders the same way — execution and
+	// post-processing are over, so nothing references the batch's ops or
+	// their edge arrays any more. Groups idle for a whole punctuation are
+	// evicted, bounding memory by the live group working set rather than
+	// every group id ever seen.
+	for _, j := range jobs {
+		if g := e.groups[j.id]; g != nil {
+			g.builder.Recycle(j.graph)
+		}
+	}
 	e.cache = e.cache[:0]
 	for id, g := range e.groups {
 		if g.txns == 0 {

@@ -148,8 +148,9 @@ func (ex *executor) handleAborts(failed []*txn.Operation) {
 }
 
 // rebuild recomputes the runtime scheduling state — unit completion flags,
-// pending counters, and (under ns-explore) the ready queue — after an abort
-// round mutated operation states. Same quiescence contract as handleAborts.
+// pending counters, and (under ns-explore) the per-shard ready rings —
+// after an abort round mutated operation states. Same quiescence contract
+// as handleAborts.
 func (ex *executor) rebuild() {
 	ex.epoch.Add(1)
 	settled := 0
@@ -170,17 +171,23 @@ func (ex *executor) rebuild() {
 		}
 		u.Pending.Store(int32(pending))
 	}
-	if ex.queue != nil {
-		ex.queue.reset()
+	if ex.cfg.Decision.Explore == sched.NSExplore {
+		for s := range ex.shards {
+			ex.shards[s].ring.reset()
+		}
+		ex.nsDone.v.Store(0)
 		for i, u := range ex.units {
 			ready := !ex.completed[i].Load() && u.Pending.Load() == 0
 			u.Claimed.Store(ready)
 			if ready {
-				ex.queue.push(u)
+				ex.shards[ex.homeOf[i]].ring.push(u)
 			}
 		}
 		if settled == len(ex.units) {
-			ex.queue.close()
+			ex.nsDone.v.Store(1)
 		}
+		// Workers parked through the fence see the reseeded rings (or the
+		// completion flag) only after an explicit wake.
+		ex.wakeAll()
 	}
 }

@@ -18,6 +18,13 @@
 // per-worker sinks (txn.ResultSink) and merge into the transactions'
 // blotters only at quiescent points, as do the per-worker time-breakdown
 // counters, so the ns-scale hot loop touches no shared cacheline.
+//
+// Data layout — KeyID-range shards (shard.go): the execution layer is
+// partitioned into contiguous KeyID ranges, each owning a bounded MPMC
+// ready ring, a slice of the unit table, and a parking lot. Workers pin to
+// a home shard, steal from neighbours when their ring drains, and park
+// after a bounded spin when no shard has ready work; cross-shard
+// dependency hand-off rides the same epoch/fence protocol.
 package exec
 
 import (
@@ -36,7 +43,11 @@ type Config struct {
 	Decision sched.Decision
 	// Threads is the number of executor threads (TxnExecutors).
 	Threads int
-	Table   *store.Table
+	// Shards is the number of KeyID-range partitions of the execution
+	// layer (per-shard ready rings, unit slices, parking lots); 0 picks
+	// the smallest power of two >= Threads.
+	Shards int
+	Table  *store.Table
 	// Breakdown, when non-nil, accumulates the time breakdown of
 	// Section 8.3.1 (useful / sync / explore / abort).
 	Breakdown *metrics.Breakdown
@@ -53,6 +64,10 @@ type Result struct {
 	Redos int
 	// OpsExecuted counts successful operation executions (first runs).
 	OpsExecuted int
+	// Steals counts units a worker popped from a non-home shard ring.
+	Steals int
+	// Parks counts spin-budget expiries that put a worker to sleep.
+	Parks int
 }
 
 // executor carries the runtime state of one batch execution.
@@ -91,7 +106,20 @@ type executor struct {
 	failedMu sync.Mutex
 	failed   []*txn.Operation
 
-	queue *workQueue // ns-explore ready queue
+	// KeyID-range sharding (shard.go): smap partitions the key space,
+	// shards holds the per-shard rings/unit slices/parking lots, homeOf
+	// maps Unit.ID to its home shard, and shardOrder lists all units
+	// grouped by shard (DFS chunk assignment). nsDone flags batch
+	// completion to ns-explore workers; parked counts sleepers for the
+	// wake fast path; parks/steals feed Result.
+	smap       shardMap
+	shards     []execShard
+	homeOf     []int32
+	shardOrder []*sched.Unit
+	nsDone     paddedInt64
+	parked     atomic.Int64
+	parks      atomic.Int64
+	steals     atomic.Int64
 
 	// abortSc is the abort handler's reusable scratch; rounds are frequent
 	// under high abort ratios and must not churn maps.
@@ -129,9 +157,10 @@ func Run(g *tpg.Graph, cfg Config) Result {
 		u.Pending.Store(int32(len(u.Parents())))
 		u.Claimed.Store(false)
 	}
+	ex.setupShards()
 	if cfg.Decision.Explore != sched.NSExplore {
 		sw := metrics.Start()
-		ex.strata = sched.Stratify(units)
+		ex.strata = sched.StratifySharded(units, ex.homeOf, len(ex.shards))
 		sw.Stop(cfg.Breakdown, metrics.Explore)
 	}
 
@@ -168,6 +197,8 @@ func Run(g *tpg.Graph, cfg Config) Result {
 		AbortRounds: ex.abortRounds,
 		Redos:       int(ex.redos.Load()),
 		OpsExecuted: int(ex.execs.Load()),
+		Steals:      int(ex.steals.Load()),
+		Parks:       int(ex.parks.Load()),
 	}
 	for _, t := range g.Txns {
 		if t.Aborted() {

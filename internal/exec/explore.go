@@ -224,10 +224,15 @@ func (ex *executor) runDFS() {
 
 func (ex *executor) dfsWorker(id, threads int) {
 	sc := &ex.scratches[id]
+	// Each worker owns a contiguous chunk of the shard-ordered unit list,
+	// so its repeated scan walks whole shard runs (shard-local cache lines)
+	// instead of striding across every shard. Chunks are disjoint and cover
+	// all units: every operation still has exactly one owner.
+	lo := id * len(ex.shardOrder) / threads
+	hi := (id + 1) * len(ex.shardOrder) / threads
 	for {
 		progressed := false
-		for i := id; i < len(ex.units); i += threads {
-			u := ex.units[i]
+		for _, u := range ex.shardOrder[lo:hi] {
 			for _, op := range u.Ops {
 				if settledOp(op) {
 					continue
@@ -284,17 +289,16 @@ func (ex *executor) dfsFinished(wid int) bool {
 	return true
 }
 
-// runNS is non-structured exploration (paper Section 5.1): a shared ready
-// queue holds units whose dependencies are resolved; finishing a unit
-// signals its dependents. Threads pick work in arbitrary order, maximising
-// available parallelism at the price of signalling overhead.
+// runNS is non-structured exploration (paper Section 5.1): per-shard ready
+// rings hold units whose dependencies are resolved; finishing a unit
+// signals its dependents by pushing them onto their home shard's ring.
+// Workers drain their home ring first and steal from neighbours only when
+// it runs dry, maximising available parallelism while keeping the hot loop
+// on shard-local cache lines.
 func (ex *executor) runNS() {
 	// No worker is running yet (first call) or all have joined (resume
 	// after a lazy abort round), so seeding needs no fence.
-	if ex.queue == nil {
-		ex.queue = newWorkQueue(len(ex.units))
-	}
-	ex.rebuild() // seeds the queue, computes pending and settled counts
+	ex.rebuild() // seeds the rings, computes pending and settled counts
 
 	threads := ex.cfg.Threads
 	var wg sync.WaitGroup
@@ -302,17 +306,25 @@ func (ex *executor) runNS() {
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
-			ex.nsWorker(t)
+			ex.nsWorker(t, t%len(ex.shards))
 		}(t)
 	}
 	wg.Wait()
 }
 
-// nsNext claims the next ready unit. The claim (pop plus epoch read)
-// happens inside one epoch section, so a concurrent abort rebuild either
-// ran entirely before it — and the epoch tag is current — or is fenced out
-// until the claim returns. ok=false means the queue is closed and drained.
-func (ex *executor) nsNext(wid int) (u *sched.Unit, myEpoch int64, ok bool) {
+// nsSpinLimit bounds the empty-ring spin of an ns-explore worker before it
+// parks on its home shard's lot: wide strata never reach it, narrow strata
+// (fewer ready units than workers) stop burning CPU after a short grace
+// period instead of Gosched-spinning until the batch ends.
+const nsSpinLimit = 128
+
+// nsNext claims the next ready unit: home ring first, then a steal sweep
+// over the other shards. Claims (pop plus epoch read) happen inside one
+// epoch section, so a concurrent abort rebuild either ran entirely before
+// the claim — and the epoch tag is current — or is fenced out until the
+// claim returns; this covers steals from any victim shard too. ok=false
+// means the batch is complete.
+func (ex *executor) nsNext(wid, home int) (u *sched.Unit, myEpoch int64, ok bool) {
 	sc := &ex.scratches[wid]
 	var sw metrics.Stopwatch
 	if ex.timed {
@@ -323,25 +335,39 @@ func (ex *executor) nsNext(wid int) (u *sched.Unit, myEpoch int64, ok bool) {
 			sw.StopLocal(&sc.bd, metrics.Explore)
 		}
 	}()
+	spins := 0
 	for {
 		ex.enterExec(wid)
-		if u := ex.queue.tryPop(); u != nil {
+		if u := ex.shards[home].ring.tryPop(); u != nil {
 			e := ex.epoch.Load()
 			ex.exitExec(wid)
 			return u, e, true
 		}
-		closed := ex.queue.isClosed()
+		for d := 1; d < len(ex.shards); d++ {
+			if u := ex.shards[(home+d)%len(ex.shards)].ring.tryPop(); u != nil {
+				ex.steals.Add(1)
+				e := ex.epoch.Load()
+				ex.exitExec(wid)
+				return u, e, true
+			}
+		}
+		done := ex.nsDone.v.Load() != 0
 		ex.exitExec(wid)
-		if closed {
+		if done {
 			return nil, 0, false
 		}
-		runtime.Gosched()
+		if spins++; spins < nsSpinLimit {
+			runtime.Gosched()
+			continue
+		}
+		spins = 0
+		ex.parkAt(home)
 	}
 }
 
-func (ex *executor) nsWorker(wid int) {
+func (ex *executor) nsWorker(wid, home int) {
 	for {
-		u, myEpoch, ok := ex.nsNext(wid)
+		u, myEpoch, ok := ex.nsNext(wid, home)
 		if !ok {
 			return
 		}
@@ -359,21 +385,29 @@ func (ex *executor) nsWorker(wid int) {
 			continue
 		}
 		// Propagate completion inside the epoch so an abort rebuild cannot
-		// interleave with pending-count decrements.
+		// interleave with pending-count decrements; children go to their
+		// own home shard's ring (the only cross-shard write on this path).
+		finished := false
 		ex.enterExec(wid)
 		if ex.epoch.Load() == myEpoch {
 			if ex.completeUnit(u) {
 				for _, c := range u.Children() {
 					if c.Pending.Add(-1) == 0 && !ex.completed[c.ID].Load() &&
 						c.Claimed.CompareAndSwap(false, true) {
-						ex.queue.push(c)
+						cs := int(ex.homeOf[c.ID])
+						ex.shards[cs].ring.push(c)
+						ex.wakeShard(cs)
 					}
 				}
 			}
 			if ex.settled.Load() == int64(len(ex.units)) {
-				ex.queue.close()
+				ex.nsDone.v.Store(1)
+				finished = true
 			}
 		}
 		ex.exitExec(wid)
+		if finished {
+			ex.wakeAll()
+		}
 	}
 }

@@ -59,7 +59,10 @@ type keyList struct {
 	entries []entry
 }
 
-const listShards = 64
+// ListShards is the number of per-key-list shards the builder maintains —
+// the planner's parallelism bound. The executor's KeyID-range shard map is
+// independent of it (sized by worker count over Graph.KeySpan).
+const ListShards = 64
 
 type listShard struct {
 	mu sync.Mutex
@@ -77,7 +80,7 @@ type listShard struct {
 // AddTxn/AddTxns may be called concurrently (stream processing phase);
 // Finalize runs the transaction processing phase.
 type Builder struct {
-	shards [listShards]listShard
+	shards [ListShards]listShard
 
 	mu      sync.Mutex
 	txns    []*txn.Transaction
@@ -97,6 +100,15 @@ type Builder struct {
 	// arrays), retained across Reset.
 	childPos  []int32
 	parentPos []int32
+
+	// Pooled output buffers reclaimed by Recycle: the next Finalize reuses
+	// their capacity for Graph.Ops, Graph.Chains (outer array) and the
+	// shared edge backing arrays, so a steady-state engine allocates no
+	// per-punctuation graph structure beyond the per-key chain slices.
+	poolOps    []*txn.Operation
+	poolChains [][]*txn.Operation
+	poolChild  []*txn.Operation
+	poolParent []*txn.Operation
 }
 
 // NewBuilder returns an empty Builder. allKeys supplies the key universe for
@@ -113,7 +125,7 @@ func NewBuilderIDs(allKeyIDs func() []store.KeyID) *Builder {
 }
 
 func (b *Builder) shardOf(id store.KeyID) *listShard {
-	return &b.shards[uint32(id)%listShards]
+	return &b.shards[uint32(id)%ListShards]
 }
 
 // clearCap zeroes a slice's full capacity region and truncates it to zero
@@ -250,7 +262,16 @@ type Graph struct {
 	// Chains groups the real operations of each key in timestamp order;
 	// the scheduler uses them as coarse-grained scheduling units.
 	Chains [][]*txn.Operation
-	Props  Props
+	// KeySpan is one past the highest KeyID referenced by the batch
+	// (targets and sources). The executor partitions [0, KeySpan) into
+	// contiguous per-shard ranges; keys interned after planning (ND
+	// writes) clamp into the last range.
+	KeySpan store.KeyID
+	Props   Props
+
+	// childBuf/parentBuf are the shared edge backing arrays produced by
+	// linkEdges; Recycle reclaims them for the next Finalize.
+	childBuf, parentBuf []*txn.Operation
 }
 
 // Props are the TPG properties feeding the decision model (paper Table 2).
@@ -316,11 +337,24 @@ func (b *Builder) Finalize(workers int) *Graph {
 	if b.numOps > 0 {
 		g.Props.MultiAccessRatio = float64(b.multi) / float64(b.numOps)
 	}
-	g.Ops = make([]*txn.Operation, 0, b.numOps)
+	if cap(b.poolOps) >= b.numOps {
+		g.Ops = b.poolOps[:0]
+	} else {
+		g.Ops = make([]*txn.Operation, 0, b.numOps)
+	}
+	b.poolOps = nil
 	for _, t := range b.txns {
 		for _, op := range t.Ops {
 			op.Index = int32(len(g.Ops))
 			g.Ops = append(g.Ops, op)
+			if op.KeyID != store.NoKeyID && op.KeyID >= g.KeySpan {
+				g.KeySpan = op.KeyID + 1
+			}
+			for _, src := range op.SrcIDs {
+				if src >= g.KeySpan {
+					g.KeySpan = src + 1
+				}
+			}
 			switch op.Kind {
 			case txn.OpNDRead, txn.OpNDWrite:
 				g.Props.NumND++
@@ -334,7 +368,7 @@ func (b *Builder) Finalize(workers int) *Graph {
 		workers = 1
 	}
 	var wg sync.WaitGroup
-	results := make([]shardStats, listShards)
+	results := make([]shardStats, ListShards)
 	sem := make(chan struct{}, workers)
 	for i := range b.shards {
 		wg.Add(1)
@@ -370,6 +404,10 @@ func (b *Builder) Finalize(workers int) *Graph {
 
 	// Coarse-grained chains: the real operations per key, in timestamp
 	// order; ND ops form singleton chains of their own.
+	if cap(b.poolChains) > 0 {
+		g.Chains = b.poolChains[:0]
+		b.poolChains = nil
+	}
 	for i := range b.shards {
 		s := &b.shards[i]
 		for _, l := range s.m {
@@ -435,8 +473,9 @@ func (b *Builder) linkEdges(g *Graph, numEdges int) {
 		co, childPos[i] = co+childPos[i], co
 		po, parentPos[i] = po+parentPos[i], po
 	}
-	childBuf := make([]*txn.Operation, numEdges)
-	parentBuf := make([]*txn.Operation, numEdges)
+	childBuf := grownEdgeBuf(b.poolChild, numEdges)
+	parentBuf := grownEdgeBuf(b.poolParent, numEdges)
+	b.poolChild, b.poolParent = nil, nil
 	for si := range b.shards {
 		for _, e := range b.shards[si].edges {
 			pi, ci := e.p.Index, e.c.Index
@@ -455,6 +494,35 @@ func (b *Builder) linkEdges(g *Graph, numEdges int) {
 		co, po = childPos[i], parentPos[i]
 		op.DedupEdges()
 	}
+	g.childBuf, g.parentBuf = childBuf, parentBuf
+}
+
+// grownEdgeBuf returns an edge backing array of length n, reusing a pooled
+// buffer when its capacity suffices (Recycle cleared its contents).
+func grownEdgeBuf(pool []*txn.Operation, n int) []*txn.Operation {
+	if cap(pool) >= n {
+		return pool[:n]
+	}
+	return make([]*txn.Operation, n)
+}
+
+// Recycle returns a Graph previously produced by this builder's Finalize to
+// the output pool: the next Finalize reuses the Ops slice, the Chains outer
+// array and the edge backing arrays instead of reallocating them. The caller
+// must guarantee the graph — and the operations' parent/child slices, which
+// point into the pooled edge arrays — is no longer referenced; the engine
+// calls it during per-punctuation cleanup after post-processing.
+func (b *Builder) Recycle(g *Graph) {
+	if g == nil {
+		return
+	}
+	b.mu.Lock()
+	b.poolOps = clearCap(g.Ops)
+	b.poolChains = clearCap(g.Chains)
+	b.poolChild = clearCap(g.childBuf)
+	b.poolParent = clearCap(g.parentBuf)
+	b.mu.Unlock()
+	g.Txns, g.Ops, g.Chains, g.childBuf, g.parentBuf = nil, nil, nil, nil, nil
 }
 
 // entryBefore orders key-list entries by the operations' (ts, id) order.

@@ -3,8 +3,10 @@ package tpg
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 
+	"morphstream/internal/store"
 	"morphstream/internal/txn"
 )
 
@@ -347,5 +349,99 @@ func TestEdgesRespectTimestampOrder(t *testing.T) {
 					op.TS(), op.ID, c.TS(), c.ID)
 			}
 		}
+	}
+}
+
+// TestKeySpanCoversBatchKeys: Graph.KeySpan must be one past the highest
+// KeyID the batch references, targets and sources alike.
+func TestKeySpanCoversBatchKeys(t *testing.T) {
+	t1 := txn.NewTransaction(1, 1)
+	mkWrite(t1, "span-a")
+	t2 := txn.NewTransaction(2, 2)
+	mkWrite(t2, "span-b", "span-c") // source key counts too
+
+	b := NewBuilder(nil)
+	b.AddTxns([]*txn.Transaction{t1, t2}, 1)
+	g := b.Finalize(1)
+
+	var want store.KeyID
+	for _, k := range []Key{"span-a", "span-b", "span-c"} {
+		if id := store.Intern(k); id >= want {
+			want = id + 1
+		}
+	}
+	if g.KeySpan != want {
+		t.Fatalf("KeySpan = %d; want %d", g.KeySpan, want)
+	}
+}
+
+// graphFingerprint reduces a graph to a comparable shape: edge set by
+// (txnID, op ordinal) pairs — op IDs are process-global, so ordinals make
+// fingerprints comparable across materializations — plus chain count and
+// the decision-model properties.
+func graphFingerprint(g *Graph) string {
+	ord := make(map[*txn.Operation]int)
+	for _, t := range g.Txns {
+		for i, op := range t.Ops {
+			ord[op] = i
+		}
+	}
+	var edges []string
+	for _, op := range g.Ops {
+		for _, c := range op.Children() {
+			edges = append(edges, fmt.Sprintf("%d.%d->%d.%d", op.Txn.ID, ord[op], c.Txn.ID, ord[c]))
+		}
+	}
+	sort.Strings(edges)
+	return fmt.Sprintf("edges=%v chains=%d props=%+v span=%d", edges, len(g.Chains), g.Props, g.KeySpan)
+}
+
+// TestRecycleSteadyStateEquivalence drives the engine's pooled punctuation
+// loop: Reset + Recycle between batches must reproduce exactly the graph a
+// fresh builder constructs, for several consecutive batches.
+func TestRecycleSteadyStateEquivalence(t *testing.T) {
+	gen := func(seed int64) []*txn.Transaction {
+		rng := rand.New(rand.NewSource(seed))
+		var txns []*txn.Transaction
+		for i := 1; i <= 80; i++ {
+			tx := txn.NewTransaction(int64(i), uint64(i))
+			for j := 0; j < 1+rng.Intn(2); j++ {
+				mkWrite(tx, Key(fmt.Sprintf("rk%d", rng.Intn(10))), Key(fmt.Sprintf("rk%d", rng.Intn(10))))
+			}
+			txns = append(txns, tx)
+		}
+		return txns
+	}
+
+	steady := NewBuilder(nil)
+	var prev *Graph
+	for round := int64(0); round < 4; round++ {
+		if prev != nil {
+			steady.Reset()
+			steady.Recycle(prev)
+		}
+		steady.AddTxns(gen(round), 2)
+		g := steady.Finalize(2)
+
+		fresh := NewBuilder(nil)
+		fresh.AddTxns(gen(round), 2)
+		want := fresh.Finalize(2)
+
+		if got, wantFp := graphFingerprint(g), graphFingerprint(want); got != wantFp {
+			t.Fatalf("round %d: recycled graph diverges from fresh build:\n got %s\nwant %s", round, got, wantFp)
+		}
+		prev = g
+	}
+}
+
+// TestRecycleNilGraphIsNoop guards the engine's first-punctuation path.
+func TestRecycleNilGraphIsNoop(t *testing.T) {
+	b := NewBuilder(nil)
+	b.Recycle(nil)
+	tx := txn.NewTransaction(1, 1)
+	mkWrite(tx, "nq")
+	b.AddTxn(tx)
+	if g := b.Finalize(1); len(g.Ops) != 1 {
+		t.Fatalf("ops = %d; want 1", len(g.Ops))
 	}
 }

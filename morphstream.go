@@ -126,7 +126,16 @@ type (
 	Engine = engine.Engine
 	// BatchResult reports one punctuation's processing.
 	BatchResult = engine.BatchResult
+	// Option customises an Engine beyond the plain Config fields.
+	Option = engine.Option
 )
 
+// WithShards pins the number of KeyID-range executor shards (per-shard
+// ready queues and parking lots). The default — n <= 0, or no option — is
+// the smallest power of two >= Config.Threads, so partitioned execution is
+// on for every multi-threaded engine; pin it explicitly to trade hand-off
+// locality (more shards) against steal frequency (fewer shards).
+func WithShards(n int) Option { return engine.WithShards(n) }
+
 // New creates an engine over a fresh state table.
-func New(cfg Config) *Engine { return engine.New(cfg) }
+func New(cfg Config, opts ...Option) *Engine { return engine.New(cfg, opts...) }
