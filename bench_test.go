@@ -12,6 +12,8 @@ package morphstream_test
 
 import (
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"morphstream/internal/exec"
@@ -194,6 +196,103 @@ func BenchmarkStoreReadWrite(b *testing.B) {
 			t.ReadID(ids[j], 2)
 		}
 	})
+}
+
+// BenchmarkStoreContended measures the dense-ID state-table hot path under
+// multi-worker contention — the executor's access pattern. Each parallel
+// worker owns a disjoint contiguous KeyID range (shard-aligned access, as
+// the KeyID-range sharded executor produces) and per iteration runs a
+// write/read/rollback cycle ("readwrite") or a pure version-chain lookup
+// ("read"). The benchgate tracks both variants: they bound the per-operation
+// synchronisation cost every explore strategy pays on every state access.
+func BenchmarkStoreContended(b *testing.B) {
+	// One disjoint 1024-key range per parallel worker: RunParallel spawns
+	// exactly GOMAXPROCS goroutines by default, so sizing the key space to
+	// the proc count keeps every worker's mutations single-writer-per-key
+	// (the table's hot-path contract) on any machine, with an identical
+	// per-worker working set.
+	nKeys := 1024 * runtime.GOMAXPROCS(0)
+	ids := make([]store.KeyID, nKeys)
+	for i := range ids {
+		ids[i] = store.Intern(workload.KeyName(i))
+	}
+	var v store.Value = int64(7)
+	newContendedTable := func() *store.Table {
+		t := store.NewTable()
+		for _, id := range ids {
+			t.PreloadID(id, v)
+		}
+		// Shard-align to the worker count over the key range, as the
+		// engine does before every batch.
+		t.Align(exec.NumShards(0, 4), ids[nKeys-1]+1)
+		return t
+	}
+
+	b.Run("read", func(b *testing.B) {
+		t := newContendedTable()
+		var nextWorker atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			w := int(nextWorker.Add(1) - 1)
+			base := (w * 1024) % nKeys
+			i := 0
+			for pb.Next() {
+				t.ReadID(ids[base+(i&1023)], 2)
+				i++
+			}
+		})
+	})
+	b.Run("readwrite", func(b *testing.B) {
+		t := newContendedTable()
+		var nextWorker atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			w := int(nextWorker.Add(1) - 1)
+			base := (w * 1024) % nKeys
+			ts := uint64(1)
+			i := 0
+			for pb.Next() {
+				id := ids[base+(i&1023)]
+				ts++
+				t.WriteID(id, ts, v)
+				t.ReadID(id, ts+1)
+				t.RemoveID(id, ts) // rollback, as an abort round would
+				i++
+			}
+		})
+	})
+}
+
+// BenchmarkStoreTruncate measures batch-boundary temporal-object clean-up:
+// the engine calls Truncate after every punctuation (Section 8.3.3), so its
+// cost — and, with the arena-backed table, the per-shard arena recycle — is
+// paid once per batch. Timestamps increase monotonically across iterations,
+// as the engine's progress controller guarantees, so the populate phase is
+// the executor's in-order append pattern.
+func BenchmarkStoreTruncate(b *testing.B) {
+	const nKeys = 1 << 13
+	ids := make([]store.KeyID, nKeys)
+	for i := range ids {
+		ids[i] = store.Intern(workload.KeyName(i))
+	}
+	var v store.Value = int64(7)
+	t := store.NewTable()
+	ts := uint64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for round := 0; round < 4; round++ {
+			ts++
+			for _, id := range ids {
+				t.WriteID(id, ts, v)
+			}
+		}
+		b.StartTimer()
+		t.Truncate(^uint64(0))
+	}
 }
 
 // BenchmarkTPGFinalize measures TPG construction alone — per-key list

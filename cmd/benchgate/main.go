@@ -10,9 +10,16 @@
 // for humans in CI, but the pass/fail decision must not hinge on
 // downloading x/perf.
 //
+// Benchmarks present in only one of the two files are never silently
+// ignored: a baseline name missing from the fresh run fails outright (a
+// benchmark was deleted or renamed away), and a fresh name missing from the
+// baseline — a new or renamed benchmark that would otherwise never be
+// gated — is reported as unmatched; with -strict the run then exits
+// non-zero, forcing a baseline refresh in the same change.
+//
 // Usage:
 //
-//	benchgate -old bench_baseline.txt -new bench_new.txt [-threshold 1.20]
+//	benchgate -old bench_baseline.txt -new bench_new.txt [-threshold 1.20] [-strict]
 package main
 
 import (
@@ -79,6 +86,7 @@ func main() {
 		oldPath   = flag.String("old", "bench_baseline.txt", "baseline benchmark output")
 		newPath   = flag.String("new", "bench_new.txt", "fresh benchmark output")
 		threshold = flag.Float64("threshold", 1.20, "fail when new median time/op exceeds old by this factor")
+		strict    = flag.Bool("strict", false, "exit non-zero when a benchmark appears in only one file")
 	)
 	flag.Parse()
 
@@ -104,11 +112,13 @@ func main() {
 	sort.Strings(names)
 
 	failed := false
+	unmatched := false
 	for _, name := range names {
 		newSamples, ok := newRes[name]
 		if !ok {
 			fmt.Printf("FAIL %-70s missing from new run\n", name)
 			failed = true
+			unmatched = true
 			continue
 		}
 		oldMed, newMed := median(oldRes[name]), median(newSamples)
@@ -122,8 +132,29 @@ func main() {
 		fmt.Printf("%s %-70s %12.0f -> %12.0f ns/op (median %+.1f%%, min %+.1f%%)\n",
 			status, name, oldMed, newMed, (medRatio-1)*100, (minRatio-1)*100)
 	}
+
+	// Fresh benchmarks the baseline does not know are never gated — a new
+	// or renamed benchmark silently escapes regression tracking. List them
+	// loudly; under -strict their presence fails the run so the baseline
+	// must be refreshed in the same change.
+	newOnly := make([]string, 0)
+	for name := range newRes {
+		if _, ok := oldRes[name]; !ok {
+			newOnly = append(newOnly, name)
+		}
+	}
+	sort.Strings(newOnly)
+	for _, name := range newOnly {
+		fmt.Fprintf(os.Stderr, "benchgate: warning: %s has no baseline entry (ungated)\n", name)
+		unmatched = true
+	}
+
+	if unmatched && *strict {
+		fmt.Fprintf(os.Stderr, "benchgate: unmatched benchmark names under -strict; refresh %s\n", *oldPath)
+		failed = true
+	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchgate: time/op regression beyond %.0f%% (or missing benchmark)\n", (*threshold-1)*100)
+		fmt.Fprintf(os.Stderr, "benchgate: time/op regression beyond %.0f%% (or missing/unmatched benchmark)\n", (*threshold-1)*100)
 		os.Exit(1)
 	}
 }

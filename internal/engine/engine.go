@@ -242,6 +242,18 @@ func (e *Engine) Punctuate() *BatchResult {
 		jobs = append(jobs, job{id: id, graph: graph, decision: d})
 	}
 
+	// Align the state table's KeyID-range shards to the executor's shard
+	// map before any worker starts: this is the punctuation's quiescent
+	// point, so the re-partition (a chain-header move, steady-state no-op
+	// once the key space stabilises) cannot race the lock-free hot path.
+	if len(jobs) > 0 {
+		graphs := make([]*tpg.Graph, len(jobs))
+		for i, j := range jobs {
+			graphs[i] = j.graph
+		}
+		exec.AlignTable(e.table, e.cfg.Shards, e.cfg.Threads, graphs...)
+	}
+
 	// Execute all groups concurrently, splitting threads between them
 	// (nested scheduling, Section 8.2.3).
 	threads := e.cfg.Threads
@@ -318,6 +330,9 @@ func (e *Engine) Punctuate() *BatchResult {
 		g.txns = 0
 	}
 	if e.cfg.Cleanup {
+		// Truncate both discards temporal objects and recycles each table
+		// shard's version arena — the state-table twin of the planner
+		// recycling above, at the same batch boundary.
 		e.table.Truncate(^uint64(0))
 	}
 

@@ -64,6 +64,50 @@ func TestEngineBasicBatch(t *testing.T) {
 	}
 }
 
+// TestPunctuateAlignsTableToExecutorShards: every punctuation must leave the
+// state table partitioned like the executor (exec.NumShards over the batch's
+// KeySpan), so workers' state accesses stay inside shard-local table memory.
+func TestPunctuateAlignsTableToExecutorShards(t *testing.T) {
+	e := New(Config{Threads: 4, Shards: 8, Cleanup: true})
+	for i := 0; i < 32; i++ {
+		e.Table().Preload(txn.Key(fmt.Sprintf("align%d", i)), int64(0))
+	}
+	op := depositOp()
+	for i := 0; i < 32; i++ {
+		ev := &Event{Data: [2]any{txn.Key(fmt.Sprintf("align%d", i)), int64(1)}}
+		if err := e.Submit(op, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := e.Punctuate()
+	if res.Committed != 32 {
+		t.Fatalf("committed = %d; want 32", res.Committed)
+	}
+	num, span := e.Table().Shards()
+	if num != 8 {
+		t.Fatalf("table shards = %d; want Config.Shards = 8", num)
+	}
+	if span < 32 {
+		t.Fatalf("table span = %d; want >= 32 (the batch's key range)", span)
+	}
+	// The executor hot loop must not have touched a single store lock; the
+	// only acquisitions belong to engine-side whole-table maintenance
+	// (Align/Truncate sweeps) and preloads, all at quiescent points.
+	before := e.Table().SafetyLockAcquisitions()
+	for i := 0; i < 32; i++ {
+		ev := &Event{Data: [2]any{txn.Key(fmt.Sprintf("align%d", i)), int64(1)}}
+		if err := e.Submit(op, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Punctuate()
+	got := e.Table().SafetyLockAcquisitions() - before
+	// Steady state: one sweep for the (no-op) Align and one for Truncate.
+	if want := int64(2 * 64); got != want {
+		t.Fatalf("safety-lock acquisitions per steady batch = %d; want %d (two whole-table sweeps)", got, want)
+	}
+}
+
 func TestEngineAbortFlagsPostProcess(t *testing.T) {
 	e := New(Config{Threads: 2})
 	e.Table().Preload("acct", int64(0))

@@ -117,11 +117,13 @@ func (ex *executor) handleAborts(failed []*txn.Operation) {
 	sc.abtOps = abtOps[:0]
 
 	// Roll back and settle the aborted transactions (T4): remove every
-	// version they installed and pin their operations at ABT.
+	// version they installed and pin their operations at ABT. The removals
+	// go through the run's table view under the fence; the arena-backed
+	// table keeps the storm inside the aborting keys' shard memory.
 	for t := range abortTxns {
 		for _, op := range t.Ops {
 			if id, ok := op.WrittenID(); ok {
-				ex.cfg.Table.RemoveID(id, t.TS)
+				ex.tv.RemoveID(id, t.TS)
 				op.ClearWritten()
 			}
 			op.SetState(txn.ABT)
@@ -134,7 +136,7 @@ func (ex *executor) handleAborts(failed []*txn.Operation) {
 		t.Blotter.Reset()
 		for _, op := range t.Ops {
 			if id, ok := op.WrittenID(); ok {
-				ex.cfg.Table.RemoveID(id, t.TS)
+				ex.tv.RemoveID(id, t.TS)
 				op.ClearWritten()
 			}
 			if op.State() == txn.EXE {

@@ -94,6 +94,13 @@ type executor struct {
 	// epoch increments on every abort round; workers abandon stale units.
 	epoch atomic.Int64
 
+	// tv is the run's state-table handle: the table layout pinned once at
+	// Run start (the engine aligns the table to the executor's shard map
+	// before any worker exists), so per-operation state access is pure
+	// array indexing with no lock and no repeated layout resolution.
+	// Whole-table operations stay out of the run entirely — they require
+	// the quiescence the epoch fence provides, see the store contract.
+	tv store.View
 	// scratches are the per-worker scratchpads (UDF ctx, source buffers,
 	// result sink, breakdown counters), indexed by worker id.
 	scratches []scratch
@@ -147,6 +154,7 @@ func Run(g *tpg.Graph, cfg Config) Result {
 		workers:   make([]paddedInt64, cfg.Threads),
 		scratches: make([]scratch, cfg.Threads),
 		timed:     cfg.Breakdown != nil,
+		tv:        cfg.Table.View(),
 	}
 	for _, u := range units {
 		for _, op := range u.Ops {
@@ -322,7 +330,7 @@ func (ex *executor) runOp(op *txn.Operation, sc *scratch) bool {
 // State-table calls go through the dense-ID hot path; only ND operations
 // resolve a string key (through KeyFn) at execution time.
 func (ex *executor) apply(op *txn.Operation, sc *scratch) error {
-	t := ex.cfg.Table
+	t := ex.tv
 	ts := op.TS()
 	ctx := &sc.ctx
 	switch op.Kind {
@@ -436,7 +444,7 @@ func (ex *executor) readSrcs(op *txn.Operation, ts uint64, sc *scratch) ([]txn.V
 	}
 	src := sc.src[:0]
 	for _, id := range op.SrcIDs {
-		v, ok := ex.cfg.Table.ReadID(id, ts)
+		v, ok := ex.tv.ReadID(id, ts)
 		if !ok {
 			return nil, txn.ErrAbort
 		}

@@ -20,7 +20,7 @@ func Serial(txns []*txn.Transaction, table *store.Table) Result {
 	slices.SortFunc(sorted, func(a, b *txn.Transaction) int { return cmp.Compare(a.TS, b.TS) })
 
 	res := Result{}
-	ex := &executor{cfg: Config{Table: table}}
+	ex := &executor{cfg: Config{Table: table}, tv: table.View()}
 	var sc scratch
 	for _, t := range sorted {
 		failed := false

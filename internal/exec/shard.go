@@ -5,6 +5,7 @@ import (
 
 	"morphstream/internal/sched"
 	"morphstream/internal/store"
+	"morphstream/internal/tpg"
 )
 
 // The executor is sharded by contiguous KeyID range: scheduling units are
@@ -29,6 +30,37 @@ func nextPow2(n int) int {
 		p <<= 1
 	}
 	return p
+}
+
+// NumShards resolves the effective shard count of a run: an explicit
+// configuration wins, otherwise the smallest power of two covering the
+// worker count. The engine uses it to align the state table's KeyID-range
+// shards to the executor's before a batch runs.
+func NumShards(cfgShards, threads int) int {
+	if cfgShards > 0 {
+		return cfgShards
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	return nextPow2(threads)
+}
+
+// AlignTable aligns the state table's KeyID-range shards to the shard map
+// the executors of the given graphs will use: NumShards(cfgShards, threads)
+// contiguous ranges over the widest graph's KeySpan (with several groups the
+// table spans the widest group's key range; each group's executor still maps
+// its own KeySpan, and alignment affects only locality, never correctness).
+// Must be called at a quiescent point — no executor running against t — as
+// the engine's and harness's per-punctuation call sites are by construction.
+func AlignTable(t *store.Table, cfgShards, threads int, graphs ...*tpg.Graph) {
+	span := store.KeyID(0)
+	for _, g := range graphs {
+		if g != nil && g.KeySpan > span {
+			span = g.KeySpan
+		}
+	}
+	t.Align(NumShards(cfgShards, threads), span)
 }
 
 // shardMap partitions the dense KeyID space [0, span) into num contiguous
@@ -89,10 +121,7 @@ type execShard struct {
 // setupShards partitions the batch's units across numShards KeyID ranges.
 // Runs once per Run, before any worker starts.
 func (ex *executor) setupShards() {
-	n := ex.cfg.Shards
-	if n <= 0 {
-		n = nextPow2(ex.cfg.Threads)
-	}
+	n := NumShards(ex.cfg.Shards, ex.cfg.Threads)
 	ex.smap = newShardMap(n, ex.g.KeySpan)
 	n = ex.smap.num
 	ex.shards = make([]execShard, n)

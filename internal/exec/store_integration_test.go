@@ -1,0 +1,141 @@
+package exec
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"morphstream/internal/store"
+	"morphstream/internal/txn"
+)
+
+// TestExecHotLoopTakesNoStoreLocks is the PR 4 acceptance assertion: a full
+// executor run — explore hot loop, source reads, abort rounds with RemoveID
+// storms — performs zero safety-net lock acquisitions in the state table.
+// The dense-ID path must stay lock-free under every strategy.
+func TestExecHotLoopTakesNoStoreLocks(t *testing.T) {
+	for _, d := range allDecisions() {
+		w := workloadSpec{keys: 32, txns: 256, seed: 7, abortEvery: 9}
+		txns, table := w.generate()
+		g := buildGraph(txns, table)
+		table.Align(NumShards(0, 4), g.KeySpan)
+
+		before := table.SafetyLockAcquisitions()
+		Run(g, Config{Decision: d, Threads: 4, Table: table})
+		if got := table.SafetyLockAcquisitions() - before; got != 0 {
+			t.Errorf("%v: executor run took %d store safety locks; want 0", d, got)
+		}
+	}
+}
+
+// ndFreshEpoch makes each test invocation's ND-created key names unique, so
+// the keys are genuinely interned for the first time mid-batch (ids beyond
+// the planner's KeySpan) even under -count=N.
+var ndFreshEpoch atomic.Int64
+
+// TestNDWritesCreateLateKeysAcrossShards regresses the late-key growth
+// path: ND writes create fresh keys during execution, after planning sized
+// the shard maps — executor and table both clamp them into their last
+// KeyID-range shard, and the table's shard must grow race-clean while
+// several workers create keys concurrently. Run under -race.
+func TestNDWritesCreateLateKeysAcrossShards(t *testing.T) {
+	epoch := ndFreshEpoch.Add(1)
+	freshKey := func(i int) txn.Key {
+		return txn.Key(fmt.Sprintf("ndfresh-%d-%d", epoch, i))
+	}
+
+	gen := func() ([]*txn.Transaction, *store.Table) {
+		table := store.NewTable()
+		for i := 0; i < 16; i++ {
+			table.Preload(key(i), int64(100))
+		}
+		var txns []*txn.Transaction
+		for i := 1; i <= 120; i++ {
+			tr := txn.NewTransaction(int64(i), uint64(i))
+			b := txn.Build(tr)
+			if i%2 == 0 {
+				// ND write creating a fresh, never-interned key.
+				b.NDWrite(func(ctx *txn.Ctx) (txn.Key, error) {
+					return freshKey(int(ctx.TS)), nil
+				}, nil, func(ctx *txn.Ctx, _ []txn.Value) (txn.Value, error) {
+					return int64(ctx.TS), nil
+				})
+			} else {
+				k := key(i % 16)
+				b.Write(k, []txn.Key{k}, func(_ *txn.Ctx, src []txn.Value) (txn.Value, error) {
+					return src[0].(int64) + 1, nil
+				})
+			}
+			txns = append(txns, tr)
+		}
+		return txns, table
+	}
+
+	oTxns, oTable := gen()
+	Serial(oTxns, oTable)
+	want := oTable.Snapshot()
+
+	for _, d := range allDecisions() {
+		txns, table := gen()
+		g := buildGraph(txns, table)
+		// Mimic the engine: align the table to the executor's shard map
+		// before the run. Every fresh key is interned after this point.
+		table.Align(NumShards(4, 4), g.KeySpan)
+		res := Run(g, Config{Decision: d, Threads: 4, Shards: 4, Table: table})
+		if res.Aborted != 0 {
+			t.Errorf("%v: unexpected aborts: %d", d, res.Aborted)
+		}
+		if got := table.Snapshot(); !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: ND late-key state diverges", d)
+		}
+		// The fresh keys exceeded the aligned span and must have clamped
+		// into the table's last shard — exactly like the executor's map.
+		num, span := table.Shards()
+		if g.KeySpan > span {
+			t.Fatalf("%v: aligned span %d below KeySpan %d", d, span, g.KeySpan)
+		}
+		smap := newShardMap(num, span)
+		for i := 2; i <= 120; i += 2 {
+			id, ok := store.LookupID(freshKey(i))
+			if !ok {
+				t.Fatalf("%v: fresh key %d never interned", d, i)
+			}
+			if id < span {
+				continue // interned by an earlier decision's run
+			}
+			if got, want := table.ShardOf(id), num-1; got != want {
+				t.Errorf("%v: late key %d in table shard %d; want last shard %d", d, id, got, want)
+			}
+			if got, want := smap.of(id), num-1; got != want {
+				t.Errorf("%v: late key %d in exec shard %d; want last shard %d", d, id, got, want)
+			}
+		}
+	}
+}
+
+// TestTableAlignMatchesExecShardMap pins the congruence the whole PR builds
+// on: an aligned table partitions the KeyID space exactly like the
+// executor's shard map over the same (num, span).
+func TestTableAlignMatchesExecShardMap(t *testing.T) {
+	for _, tc := range []struct {
+		num  int
+		span store.KeyID
+	}{
+		{1, 1}, {2, 10}, {4, 1000}, {8, 1000}, {16, 37}, {3, 64}, {64, 64}, {7, 5},
+	} {
+		table := store.NewTable()
+		table.Align(tc.num, tc.span)
+		num, span := table.Shards()
+		if num != tc.num || span != tc.span {
+			t.Fatalf("Align(%d,%d) -> Shards() = (%d,%d)", tc.num, tc.span, num, span)
+		}
+		smap := newShardMap(tc.num, tc.span)
+		for id := store.KeyID(0); id < tc.span+100; id++ {
+			if got, want := table.ShardOf(id), smap.of(id); got != want {
+				t.Fatalf("num=%d span=%d: table shard %d != exec shard %d for id %d",
+					tc.num, tc.span, got, want, id)
+			}
+		}
+	}
+}

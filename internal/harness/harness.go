@@ -92,6 +92,14 @@ func (m *MorphSystem) Run(b *workload.Batch, threads int, bd *metrics.Breakdown)
 		m.lastDecision = d
 	}
 
+	// Align the table's shards to the executors' shard map before workers
+	// start (same quiescent point as the engine's per-punctuation Align).
+	graphs := make([]*tpg.Graph, len(jobs))
+	for i, j := range jobs {
+		graphs[i] = j.g
+	}
+	exec.AlignTable(table, 0, threads, graphs...)
+
 	perJob := threads
 	if len(jobs) > 1 {
 		perJob = threads / len(jobs)

@@ -1,0 +1,408 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// --- Truncate suffix regression (the seed collapsed every chain to one
+// version even when newer-than-ts versions existed, destroying uncommitted
+// future state on a mid-history truncate) ---
+
+func TestTruncateKeepsNewerSuffix(t *testing.T) {
+	tb := NewTable()
+	id := Intern("truncate-suffix-key")
+	for ts := uint64(1); ts <= 5; ts++ {
+		tb.WriteID(id, ts, int64(ts))
+	}
+	tb.Truncate(3)
+	// Latest not newer than 3 survives with its timestamp...
+	if v, ok := tb.ReadID(id, 4); !ok || v.(int64) != 3 {
+		t.Fatalf("ReadID(4) after Truncate(3) = %v,%v; want 3,true", v, ok)
+	}
+	if _, ok := tb.ReadID(id, 3); ok {
+		t.Fatal("read below the retained version's TS should miss")
+	}
+	// ...and the newer suffix must survive untouched.
+	if n := tb.VersionCountID(id); n != 3 {
+		t.Fatalf("VersionCountID = %d; want 3 (ts=3 survivor + ts=4,5 suffix)", n)
+	}
+	for _, ts := range []uint64{4, 5} {
+		if v, ok := tb.ReadID(id, ts+1); !ok || v.(int64) != int64(ts) {
+			t.Fatalf("ReadID(%d) = %v,%v; want %d (newer suffix destroyed)", ts+1, v, ok, ts)
+		}
+	}
+	// A truncate below every version keeps the whole chain.
+	tb.Truncate(0)
+	if n := tb.VersionCountID(id); n != 3 {
+		t.Fatalf("VersionCountID after Truncate(0) = %d; want 3", n)
+	}
+}
+
+// --- Observational equivalence against the seed's mod-N locked layout ---
+
+// modNTable reimplements the seed table — mod-N RWMutex shards over plain
+// chain slices — as the reference model, with the corrected Truncate
+// semantics. The arena-backed table must be observationally equivalent.
+type modNTable struct {
+	shards []modNShard
+}
+
+type modNShard struct {
+	mu     sync.RWMutex
+	chains [][]Version
+}
+
+func newModN(n int) *modNTable { return &modNTable{shards: make([]modNShard, n)} }
+
+func (t *modNTable) at(id KeyID) (*modNShard, int) {
+	n := uint32(len(t.shards))
+	return &t.shards[uint32(id)%n], int(uint32(id) / n)
+}
+
+func (s *modNShard) slot(i int) int {
+	for i >= len(s.chains) {
+		s.chains = append(s.chains, nil)
+	}
+	return i
+}
+
+func (t *modNTable) PreloadID(id KeyID, v Value) {
+	s, i := t.at(id)
+	s.mu.Lock()
+	s.chains[s.slot(i)] = []Version{{TS: 0, Value: v}}
+	s.mu.Unlock()
+}
+
+func (t *modNTable) WriteID(id KeyID, ts uint64, v Value) {
+	s, i := t.at(id)
+	s.mu.Lock()
+	i = s.slot(i)
+	vs := s.chains[i]
+	j := locate(vs, ts)
+	switch {
+	case j < len(vs) && vs[j].TS == ts:
+		vs[j].Value = v
+	default:
+		vs = append(vs, Version{})
+		copy(vs[j+1:], vs[j:])
+		vs[j] = Version{TS: ts, Value: v}
+		s.chains[i] = vs
+	}
+	s.mu.Unlock()
+}
+
+func (t *modNTable) ReadID(id KeyID, ts uint64) (Value, bool) {
+	s, i := t.at(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if i >= len(s.chains) {
+		return nil, false
+	}
+	vs := s.chains[i]
+	j := locate(vs, ts)
+	if j == 0 {
+		return nil, false
+	}
+	return vs[j-1].Value, true
+}
+
+func (t *modNTable) ReadRangeID(id KeyID, lo, hi uint64) []Version {
+	s, i := t.at(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if i >= len(s.chains) {
+		return nil
+	}
+	vs := s.chains[i]
+	a, b := locate(vs, lo), locate(vs, hi)
+	if a >= b {
+		return nil
+	}
+	out := make([]Version, b-a)
+	copy(out, vs[a:b])
+	return out
+}
+
+func (t *modNTable) RemoveID(id KeyID, ts uint64) {
+	s, i := t.at(id)
+	s.mu.Lock()
+	if i < len(s.chains) {
+		vs := s.chains[i]
+		j := locate(vs, ts)
+		if j < len(vs) && vs[j].TS == ts {
+			s.chains[i] = append(vs[:j], vs[j+1:]...)
+		}
+	}
+	s.mu.Unlock()
+}
+
+func (t *modNTable) Truncate(ts uint64) {
+	for si := range t.shards {
+		s := &t.shards[si]
+		s.mu.Lock()
+		for slot, vs := range s.chains {
+			if vs == nil {
+				continue
+			}
+			j := len(vs)
+			if ts != ^uint64(0) {
+				j = locate(vs, ts+1)
+			}
+			if j == 0 {
+				continue
+			}
+			s.chains[slot] = append([]Version(nil), vs[j-1:]...)
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (t *modNTable) KeyIDs() []KeyID {
+	n := uint32(len(t.shards))
+	var out []KeyID
+	for si := range t.shards {
+		s := &t.shards[si]
+		for slot, vs := range s.chains {
+			if vs != nil {
+				out = append(out, KeyID(uint32(slot)*n+uint32(si)))
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (t *modNTable) TotalVersions() int {
+	n := 0
+	for si := range t.shards {
+		for _, vs := range t.shards[si].chains {
+			n += len(vs)
+		}
+	}
+	return n
+}
+
+// TestArenaTableMatchesModNReference drives random interleavings of
+// PreloadID/WriteID/ReadID/ReadRangeID/RemoveID/Truncate against the
+// seed-layout reference, re-aligning the arena table mid-sequence so the
+// comparison also covers chain moves across shard re-partitions.
+func TestArenaTableMatchesModNReference(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tb := NewTable()
+		ref := newModN(64)
+		const nKeys = 300
+		base := Intern(fmt.Sprintf("equiv-%d-0", seed))
+		ids := make([]KeyID, nKeys)
+		for i := range ids {
+			ids[i] = Intern(fmt.Sprintf("equiv-%d-%d", seed, i))
+		}
+		for step := 0; step < 6000; step++ {
+			id := ids[rng.Intn(nKeys)]
+			ts := uint64(rng.Intn(64))
+			switch rng.Intn(12) {
+			case 0:
+				v := int64(rng.Intn(1000))
+				tb.PreloadID(id, v)
+				ref.PreloadID(id, v)
+			case 1, 2, 3, 4:
+				v := int64(rng.Intn(1000))
+				tb.WriteID(id, ts, v)
+				ref.WriteID(id, ts, v)
+			case 5, 6, 7:
+				a, aok := tb.ReadID(id, ts)
+				b, bok := ref.ReadID(id, ts)
+				if aok != bok || (aok && a.(int64) != b.(int64)) {
+					t.Fatalf("seed %d step %d: ReadID(%d,%d) = %v,%v; ref %v,%v",
+						seed, step, id, ts, a, aok, b, bok)
+				}
+			case 8:
+				lo := uint64(rng.Intn(64))
+				hi := lo + uint64(rng.Intn(32))
+				a, b := tb.ReadRangeID(id, lo, hi), ref.ReadRangeID(id, lo, hi)
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("seed %d step %d: ReadRangeID mismatch: %v vs %v", seed, step, a, b)
+				}
+			case 9, 10:
+				tb.RemoveID(id, ts)
+				ref.RemoveID(id, ts)
+			case 11:
+				if rng.Intn(4) == 0 {
+					cut := ^uint64(0)
+					if rng.Intn(2) == 0 {
+						cut = uint64(rng.Intn(64))
+					}
+					tb.Truncate(cut)
+					ref.Truncate(cut)
+				} else {
+					// Re-partition mid-sequence; must be invisible.
+					tb.Align(1+rng.Intn(8), base+KeyID(nKeys))
+				}
+			}
+		}
+		if got, want := tb.TotalVersions(), ref.TotalVersions(); got != want {
+			t.Fatalf("seed %d: TotalVersions = %d; ref %d", seed, got, want)
+		}
+		got, want := tb.KeyIDs(), ref.KeyIDs()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: KeyIDs = %v; ref %v", seed, got, want)
+		}
+		for _, id := range want {
+			a := tb.ReadRangeID(id, 0, ^uint64(0))
+			b := ref.ReadRangeID(id, 0, ^uint64(0))
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("seed %d: final chain of %d: %v vs %v", seed, id, a, b)
+			}
+		}
+	}
+}
+
+// --- Whole-table fence: string-API readers racing Truncate stay safe ---
+
+func TestConcurrentReadersVsTruncateFence(t *testing.T) {
+	tb := NewTable()
+	const nKeys = 128
+	keys := make([]Key, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("fence-%d", i)
+		tb.Preload(keys[i], int64(0))
+		for ts := uint64(1); ts <= 8; ts++ {
+			tb.Write(keys[i], ts, int64(ts))
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := w
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := keys[i%nKeys]
+				// Any snapshot a reader observes is internally consistent:
+				// the latest value below the probe is the version directly
+				// below it, whatever Truncate has discarded.
+				if v, ok := tb.Read(k, 100); ok {
+					if got := v.(int64); got < 0 || got > 9 {
+						t.Errorf("Read(%s) saw impossible value %d", k, got)
+						return
+					}
+				} else {
+					t.Errorf("Read(%s) found no version at all", k)
+					return
+				}
+				tb.ReadRange(k, 0, 100)
+				i++
+			}
+		}(w)
+	}
+	for round := 0; round < 50; round++ {
+		tb.Truncate(^uint64(0))
+		for i := range keys {
+			tb.Write(keys[i], uint64(9), int64(9))
+		}
+		tb.Truncate(5) // mid-history: keeps the suffix
+	}
+	close(stop)
+	wg.Wait()
+	for _, k := range keys {
+		if v, ok := tb.Latest(k); !ok || v.(int64) != 9 {
+			t.Fatalf("Latest(%s) = %v,%v; want 9", k, v, ok)
+		}
+	}
+}
+
+// --- Late-key growth: fresh ids beyond the aligned span must clamp into
+// the last shard and grow it race-clean under concurrent creators ---
+
+func TestLateKeyGrowthShardLocalAndRaceClean(t *testing.T) {
+	tb := NewTable()
+	lo := Intern("late-base")
+	tb.PreloadID(lo, int64(1))
+	span := lo + 16
+	tb.Align(4, span)
+	num, _ := tb.Shards()
+	if num != 4 {
+		t.Fatalf("Shards() = %d; want 4", num)
+	}
+
+	// Concurrent creators of distinct fresh keys, all beyond span — the ND
+	// write pattern. Each lands in the last shard and grows its directory.
+	const workers, perWorker = 8, 400
+	ids := make([][]KeyID, workers)
+	for w := range ids {
+		ids[w] = make([]KeyID, perWorker)
+		for i := range ids[w] {
+			ids[w][i] = Intern(fmt.Sprintf("late-%d-%d", w, i))
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, id := range ids[w] {
+				tb.WriteID(id, uint64(i+1), int64(w*perWorker+i))
+				if v, ok := tb.ReadID(id, uint64(i+2)); !ok || v.(int64) != int64(w*perWorker+i) {
+					t.Errorf("worker %d: readback of late key %d = %v,%v", w, id, v, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for w := range ids {
+		for i, id := range ids[w] {
+			if id >= span && tb.ShardOf(id) != num-1 {
+				t.Fatalf("late key %d mapped to shard %d; want last shard %d", id, tb.ShardOf(id), num-1)
+			}
+			if v, ok := tb.ReadID(id, ^uint64(0)); !ok || v.(int64) != int64(w*perWorker+i) {
+				t.Fatalf("late key %d lost its version: %v,%v", id, v, ok)
+			}
+		}
+	}
+
+	// A later Align must absorb the late keys into the span proper.
+	tb.Align(4, span)
+	if _, newSpan := tb.Shards(); newSpan <= span {
+		t.Fatalf("re-Align span = %d; want > %d (late keys absorbed)", newSpan, span)
+	}
+	for w := range ids {
+		for i, id := range ids[w] {
+			if v, ok := tb.ReadID(id, ^uint64(0)); !ok || v.(int64) != int64(w*perWorker+i) {
+				t.Fatalf("late key %d lost its version after re-Align: %v,%v", id, v, ok)
+			}
+		}
+	}
+}
+
+// TestAlignNeverShrinksAndCoversPresent pins the Align span rules: a span
+// below the current one, or below a present key, is raised.
+func TestAlignNeverShrinksAndCoversPresent(t *testing.T) {
+	tb := NewTable()
+	id := Intern("align-cover-key")
+	tb.PreloadID(id, int64(7))
+	tb.Align(8, 4) // requested span far below the present key
+	if _, span := tb.Shards(); span < id+1 {
+		t.Fatalf("span = %d; want >= %d (must cover present keys)", span, id+1)
+	}
+	before, spanBefore := tb.Shards()
+	tb.Align(before, spanBefore/2)
+	if _, span := tb.Shards(); span != spanBefore {
+		t.Fatalf("span shrank: %d -> %d", spanBefore, span)
+	}
+	if v, ok := tb.ReadID(id, 1); !ok || v.(int64) != 7 {
+		t.Fatalf("value lost across Align: %v,%v", v, ok)
+	}
+}

@@ -297,7 +297,14 @@ type Props struct {
 // parallelism of per-shard edge derivation.
 func (b *Builder) Finalize(workers int) *Graph {
 	// Non-deterministic fan-out: a pessimistic virtual operation of every
-	// ND op goes into every known key list (paper Section 4.4).
+	// ND op goes into every known key list (paper Section 4.4). The
+	// universe also feeds KeySpan below: an ND access resolves to any of
+	// these keys at execution time, so the executor's (and the aligned
+	// state table's) KeyID-range shard map must cover them — otherwise
+	// every ND-resolved key would clamp into the last shard. Keys the ND
+	// write *creates* mid-batch are interned after planning and still
+	// clamp; the table grows its last shard race-clean for exactly them.
+	var ndSpan store.KeyID
 	if len(b.ndOps) > 0 {
 		universe := map[store.KeyID]struct{}{}
 		if b.allKeyIDs != nil {
@@ -324,6 +331,9 @@ func (b *Builder) Finalize(workers int) *Graph {
 			s.mu.Unlock()
 		}
 		for id := range universe {
+			if id != store.NoKeyID && id+1 > ndSpan {
+				ndSpan = id + 1
+			}
 			for _, op := range b.ndOps {
 				b.appendEntry(id, entry{op: op, kind: ndvo})
 			}
@@ -362,6 +372,9 @@ func (b *Builder) Finalize(workers int) *Graph {
 				g.Props.NumWindow++
 			}
 		}
+	}
+	if ndSpan > g.KeySpan {
+		g.KeySpan = ndSpan
 	}
 
 	if workers < 1 {

@@ -375,6 +375,44 @@ func TestKeySpanCoversBatchKeys(t *testing.T) {
 	}
 }
 
+// TestKeySpanCoversNDUniverse: with non-deterministic operations in the
+// batch, KeySpan must also cover the fan-out key universe — an ND access
+// can resolve to any of those keys at execution time, and without the
+// widened span the executor's (and the aligned table's) shard map would
+// clamp every ND-resolved key into the last shard.
+func TestKeySpanCoversNDUniverse(t *testing.T) {
+	universe := make([]store.KeyID, 0, 8)
+	var top store.KeyID
+	for i := 0; i < 8; i++ {
+		id := store.Intern(fmt.Sprintf("ndspan-%d", i))
+		universe = append(universe, id)
+		if id >= top {
+			top = id + 1
+		}
+	}
+
+	t1 := txn.NewTransaction(1, 1)
+	txn.Build(t1).NDRead(func(*txn.Ctx) (Key, error) { return "ndspan-0", nil }, nil)
+
+	b := NewBuilderIDs(func() []store.KeyID { return universe })
+	b.AddTxns([]*txn.Transaction{t1}, 1)
+	g := b.Finalize(1)
+	if g.KeySpan < top {
+		t.Fatalf("KeySpan = %d; want >= %d (the ND fan-out universe)", g.KeySpan, top)
+	}
+
+	// Without ND operations the universe must not inflate the span.
+	t2 := txn.NewTransaction(2, 2)
+	mkWrite(t2, "ndspan-plain")
+	b2 := NewBuilderIDs(func() []store.KeyID { return universe })
+	b2.AddTxns([]*txn.Transaction{t2}, 1)
+	g2 := b2.Finalize(1)
+	id, _ := store.LookupID("ndspan-plain")
+	if g2.KeySpan != id+1 {
+		t.Fatalf("KeySpan without ND = %d; want %d", g2.KeySpan, id+1)
+	}
+}
+
 // graphFingerprint reduces a graph to a comparable shape: edge set by
 // (txnID, op ordinal) pairs — op IDs are process-global, so ordinals make
 // fingerprints comparable across materializations — plus chain count and

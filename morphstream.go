@@ -130,11 +130,16 @@ type (
 	Option = engine.Option
 )
 
-// WithShards pins the number of KeyID-range executor shards (per-shard
-// ready queues and parking lots). The default — n <= 0, or no option — is
-// the smallest power of two >= Config.Threads, so partitioned execution is
-// on for every multi-threaded engine; pin it explicitly to trade hand-off
-// locality (more shards) against steal frequency (fewer shards).
+// WithShards pins the number of KeyID-range shards of the execution layer
+// (per-shard ready queues and parking lots) AND of the state table: before
+// every batch the engine aligns the table's contiguous KeyID-range shards —
+// each owning its own version arenas — to the executor's shard map, so a
+// worker's state accesses stay inside shard-local table memory and an abort
+// round's rollback touches only the aborting shard's arenas. The default —
+// n <= 0, or no option — is the smallest power of two >= Config.Threads, so
+// partitioned execution is on for every multi-threaded engine; pin it
+// explicitly to trade hand-off locality (more shards) against steal
+// frequency (fewer shards).
 func WithShards(n int) Option { return engine.WithShards(n) }
 
 // New creates an engine over a fresh state table.
