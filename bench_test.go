@@ -470,6 +470,49 @@ func BenchmarkExecContendedAbort(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelinedThroughput compares the engine's two front doors on the
+// same GS-shaped stream: the batch-synchronous Submit/Punctuate facade
+// (planning and execution strictly alternate) against the pipelined
+// Start/Ingest/Close lifecycle (planning of batch N+1 overlaps execution of
+// batch N). The pipelined variant additionally reports what fraction of
+// execution time had planning running concurrently (overlap/exec); on
+// multi-core hardware that overlap is wall-clock time saved per batch. The
+// CI bench gate tracks both variants.
+func BenchmarkPipelinedThroughput(b *testing.B) {
+	cfg := workload.DefaultGS()
+	cfg.Txns = 8192
+	cfg.StateSize = 1024
+	cfg.ComplexityUS = 1
+	batch := workload.GS(cfg)
+	const batchSize, threads = 1024, 4
+
+	b.Run("sync", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			committed, _ := harness.RunSynchronousBaseline(batch, batchSize, threads)
+			if committed == 0 {
+				b.Fatal("no transactions committed")
+			}
+		}
+		b.ReportMetric(float64(cfg.Txns*b.N)/b.Elapsed().Seconds(), "events/s")
+	})
+	b.Run("pipelined", func(b *testing.B) {
+		var overlapFrac float64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			committed, _, st := harness.RunPipelined(batch, batchSize, threads)
+			if committed == 0 {
+				b.Fatal("no transactions committed")
+			}
+			if st.ExecBusy > 0 {
+				overlapFrac += float64(st.Overlap) / float64(st.ExecBusy)
+			}
+		}
+		b.ReportMetric(float64(cfg.Txns*b.N)/b.Elapsed().Seconds(), "events/s")
+		b.ReportMetric(overlapFrac/float64(b.N), "overlap/exec")
+	})
+}
+
 // BenchmarkDecisionModel measures the per-batch cost of the heuristic
 // decision model (it sits on the critical path, Section 5.4).
 func BenchmarkDecisionModel(b *testing.B) {

@@ -22,13 +22,26 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (fig11..fig21b, fig23, fig25) or 'all'")
-		scale   = flag.Float64("scale", 0.25, "workload scale factor (1.0 = paper-sized Table 6 defaults)")
-		threads = flag.Int("threads", harness.Threads(), "executor threads")
-		list    = flag.Bool("list", false, "list available experiments")
-		quick   = flag.Bool("quick", false, "CI smoke: one tiny fig11 slice, non-zero exit on failure")
+		exp       = flag.String("exp", "", "experiment id (fig11..fig21b, fig23, fig25) or 'all'")
+		scale     = flag.Float64("scale", 0.25, "workload scale factor (1.0 = paper-sized Table 6 defaults)")
+		threads   = flag.Int("threads", harness.Threads(), "executor threads")
+		list      = flag.Bool("list", false, "list available experiments")
+		quick     = flag.Bool("quick", false, "CI smoke: one tiny fig11 slice, non-zero exit on failure")
+		pipelined = flag.Bool("pipelined", false, "compare the pipelined Start/Ingest/Drain lifecycle against the synchronous facade and report plan/execute overlap")
 	)
 	flag.Parse()
+
+	if *pipelined {
+		start := time.Now()
+		report := harness.PipelineOverlap(harness.Scale(*scale), *threads)
+		if report == nil || len(report.Rows) < 2 {
+			fmt.Fprintln(os.Stderr, "pipelined comparison produced no rows")
+			os.Exit(1)
+		}
+		fmt.Println(report.String())
+		fmt.Printf("(pipelined comparison completed in %v)\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	if *quick {
 		start := time.Now()

@@ -1,11 +1,15 @@
 // Quickstart: a minimal MorphStream application — a transactional account
-// ledger processing a small batch of transfers with ACID guarantees over
-// streaming input.
+// ledger processing a stream of transfers with ACID guarantees — driven
+// through the pipelined streaming lifecycle: Start spins the engine's
+// plan/execute pipeline up, Ingest enqueues events with backpressure,
+// punctuation is policy (every 4 events here), results arrive on the
+// Results channel, and Drain/Close flush and tear down.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -61,10 +65,17 @@ var transferOp = morphstream.OperatorFuncs{
 
 func main() {
 	eng := morphstream.New(morphstream.Config{Threads: 4, Cleanup: true},
-		morphstream.WithShards(2))
+		morphstream.WithShards(2),
+		morphstream.WithPunctuationCount(4)) // punctuation as policy
 	eng.Table().Preload("alice", int64(100))
 	eng.Table().Preload("bob", int64(50))
 	eng.Table().Preload("carol", int64(0))
+
+	// Start the pipeline: planning of the next batch overlaps execution of
+	// the previous one from here on.
+	if err := eng.Start(context.Background()); err != nil {
+		log.Fatal(err)
+	}
 
 	events := []transfer{
 		{"alice", "bob", 30},
@@ -73,18 +84,25 @@ func main() {
 		{"carol", "alice", 1000}, // insufficient -> aborts
 		{"bob", "alice", 20},
 	}
-	fmt.Println("submitting", len(events), "transfers:")
+	fmt.Println("ingesting", len(events), "transfers:")
 	for _, t := range events {
-		if err := eng.Submit(transferOp, &morphstream.Event{Data: t}); err != nil {
+		if err := eng.Ingest(transferOp, &morphstream.Event{Data: t}); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	// The punctuation triggers the three-stage paradigm: the TPG is
-	// refined, the decision model picks a strategy, and the batch executes.
-	res := eng.Punctuate()
-	fmt.Printf("\nbatch: %d committed, %d aborted, decision %v\n",
-		res.Committed, res.Aborted, res.Decisions[0])
+	// Close flushes every in-flight batch (the count policy sealed one
+	// after 4 events; the fifth rides the final flush), delivers the
+	// remaining results, and closes the Results channel.
+	go func() {
+		if err := eng.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	for res := range eng.Results() {
+		fmt.Printf("\nbatch %d: %d committed, %d aborted, decision %v\n",
+			res.Seq, res.Committed, res.Aborted, res.Decisions[0])
+	}
 
 	for _, k := range []morphstream.Key{"alice", "bob", "carol"} {
 		v, _ := eng.Table().Latest(k)

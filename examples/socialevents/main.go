@@ -3,6 +3,12 @@
 // tweet stream, printing expected vs detected event popularity per window
 // (the data behind Fig. 23).
 //
+// The detector drives the engine through the synchronous Submit/Punctuate
+// facade rather than the pipelined Start/Ingest lifecycle: each window's
+// burst keywords and cluster assignments feed the *next* window's
+// submissions, so the application needs a barrier after every batch.
+// Compare examples/quickstart and examples/ledger for the pipelined style.
+//
 // Run with: go run ./examples/socialevents
 package main
 

@@ -3,6 +3,11 @@
 // stream, printing expected vs actual accumulated matches per batch (the
 // data behind Fig. 25).
 //
+// The joiner uses the engine's synchronous Submit/Punctuate facade: it
+// reads the matched-count state between batches to print per-batch
+// expected-vs-actual rows, so it wants a barrier per batch rather than the
+// pipelined Start/Ingest lifecycle (see examples/quickstart for that).
+//
 // Run with: go run ./examples/stockexchange
 package main
 

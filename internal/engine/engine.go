@@ -1,11 +1,18 @@
 // Package engine wires MorphStream's five architectural components together
 // (paper Section 7.2, Fig. 10): the singleton ProgressController and the
-// StreamManager, TxnManager, TxnScheduler and TxnExecutor stages. It drives
-// the punctuation-separated dual-mode processing loop of Algorithm 1/4:
-// between punctuations, input events are pre-processed and their state
-// transactions planned into a TPG; at a punctuation, the TPG is refined,
-// scheduled by the decision model, executed, and the cached events are
-// post-processed with the state-access results.
+// StreamManager, TxnManager, TxnScheduler and TxnExecutor stages.
+//
+// The engine exposes the paper's three-stage paradigm as a *pipeline*: the
+// planning stage (PreProcess, StateAccess, TPG construction) and the
+// transaction processing stage (refine, decide, align, execute,
+// post-process) operate on explicit per-batch state, so the streaming
+// lifecycle (Start/Ingest/Drain/Close, pipeline.go) can run planning of
+// batch N+1 concurrently with execution of batch N. Planning touches no
+// table state — the non-deterministic fan-out universe comes from a
+// snapshot refreshed at quiescent points — so the state-table alignment and
+// the lock-free execution of PRs 2-4 stay inside the punctuation quiescent
+// point at the stage boundary. The classic batch-synchronous surface
+// (Submit/Punctuate) remains as a thin facade over the same stage methods.
 package engine
 
 import (
@@ -66,17 +73,56 @@ type Config struct {
 	// Cleanup truncates the multi-version table and discards the TPG after
 	// every punctuation (Section 8.3.3); disable to reproduce Fig. 16b.
 	Cleanup bool
+
+	// PunctuateEvery seals a pipelined batch after this many ingested
+	// events; <= 0 uses DefaultPunctuateEvery. The synchronous facade
+	// ignores it: Punctuate is the explicit punctuation.
+	PunctuateEvery int
+	// PunctuateInterval, when > 0, additionally seals a non-empty pipelined
+	// batch at most this long after its first event, bounding latency on
+	// slow streams.
+	PunctuateInterval time.Duration
+	// IngestBuffer is the submission-ring capacity (rounded up to a power
+	// of two); <= 0 uses DefaultIngestBuffer. Ingest blocks when the ring
+	// is full — the pipeline's backpressure.
+	IngestBuffer int
+	// Sink, when non-nil, receives every BatchResult from the executor
+	// stage (in punctuation order, on the pipeline's goroutine) instead of
+	// the Results channel.
+	Sink func(*BatchResult)
 }
+
+// Pipeline sizing defaults.
+const (
+	// DefaultPunctuateEvery is the pipelined batch size when Config leaves
+	// PunctuateEvery unset.
+	DefaultPunctuateEvery = 1024
+	// DefaultIngestBuffer is the submission-ring capacity when Config
+	// leaves IngestBuffer unset.
+	DefaultIngestBuffer = 4096
+	// resultsBuffer decouples result delivery from consumption; once full,
+	// the executor stage blocks, propagating backpressure to Ingest.
+	resultsBuffer = 16
+)
 
 // BatchResult reports one punctuation's processing.
 type BatchResult struct {
 	exec.Result
+	// Seq is the 1-based punctuation sequence number.
+	Seq int64
 	// Decisions records the scheduling decision per group.
 	Decisions map[int]sched.Decision
 	// Props are the merged TPG properties of the batch.
 	Props tpg.Props
 	// Events is the number of input events in the batch.
 	Events int
+	// Dropped counts ingested events discarded by PreProcess errors (the
+	// synchronous facade reports those errors from Submit instead).
+	Dropped int
+	// PlanElapsed is the planning-stage time spent on this batch
+	// (PreProcess + StateAccess + TPG construction + finalize). In the
+	// pipeline it overlaps the previous batch's Elapsed.
+	PlanElapsed time.Duration
 	// Elapsed is the wall-clock time of the transaction processing phase.
 	Elapsed time.Duration
 }
@@ -103,10 +149,104 @@ type cachedEvent struct {
 	op Operator
 }
 
-// group is the per-scheduling-group planning state.
+// group is the per-scheduling-group planning state of one batch.
 type group struct {
 	builder *tpg.Builder
 	txns    int
+}
+
+// pendingBatch is the planning-stage state of the batch currently being
+// accumulated: exactly one exists at a time (owned by the caller goroutine
+// under the synchronous facade, by the planner stage in the pipeline), so
+// none of it needs synchronisation.
+type pendingBatch struct {
+	cache   []cachedEvent
+	groups  map[int]*group
+	dropped int
+	planned time.Duration
+	firstAt time.Time // arrival of the first event; drives interval policy
+}
+
+func newPendingBatch() *pendingBatch {
+	return &pendingBatch{groups: make(map[int]*group)}
+}
+
+func (pb *pendingBatch) groupOf(e *Engine, id int) *group {
+	g := pb.groups[id]
+	if g == nil {
+		g = &group{builder: e.builders.take(id, e)}
+		pb.groups[id] = g
+	}
+	return g
+}
+
+// plannedJob is one scheduling group's finalized graph, paired with the
+// builder that produced it so the execution stage can recycle the graph's
+// arrays and return the builder to the pool once the batch is done.
+type plannedJob struct {
+	id      int
+	graph   *tpg.Graph
+	builder *tpg.Builder
+}
+
+// plannedBatch is a sealed batch in flight between the planning and
+// execution stages.
+type plannedBatch struct {
+	jobs    []plannedJob
+	cache   []cachedEvent
+	events  int
+	dropped int
+	planned time.Duration
+}
+
+// builderPool hands planner stages a TPG builder per scheduling group and
+// takes it back — recycled and reset — from the execution stage one batch
+// later. Steady-state pipelining alternates two builders per live group;
+// groups idle for two punctuations are evicted, bounding memory by the live
+// group working set rather than every group id ever seen.
+type builderPool struct {
+	mu       sync.Mutex
+	free     map[int][]*tpg.Builder
+	lastUsed map[int]int64
+	batch    int64
+}
+
+func (p *builderPool) take(id int, e *Engine) *tpg.Builder {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ensure()
+	p.lastUsed[id] = p.batch
+	if l := p.free[id]; len(l) > 0 {
+		b := l[len(l)-1]
+		p.free[id] = l[:len(l)-1]
+		return b
+	}
+	return tpg.NewBuilderIDs(e.universeSnapshot)
+}
+
+// put returns a builder after batch batchNo and evicts stale groups.
+func (p *builderPool) put(id int, b *tpg.Builder, batchNo int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ensure()
+	p.batch = batchNo
+	p.lastUsed[id] = batchNo
+	if len(p.free[id]) < 2 {
+		p.free[id] = append(p.free[id], b)
+	}
+	for gid, last := range p.lastUsed {
+		if batchNo-last >= 2 {
+			delete(p.free, gid)
+			delete(p.lastUsed, gid)
+		}
+	}
+}
+
+func (p *builderPool) ensure() {
+	if p.free == nil {
+		p.free = make(map[int][]*tpg.Builder)
+		p.lastUsed = make(map[int]int64)
+	}
 }
 
 // Engine is a MorphStream instance.
@@ -115,23 +255,46 @@ type Engine struct {
 	table *store.Table
 	pc    progressController
 
-	// StreamManager state: cached events awaiting post-processing.
-	cache   []cachedEvent
+	// StreamManager state.
 	latency *metrics.LatencyRecorder
 
-	// TxnManager state: one TPG builder per scheduling group.
-	groups map[int]*group
-	txnSeq int64
+	// TxnManager state: transaction sequence and the per-group builder
+	// pool shared by the planning and execution stages.
+	txnSeq   atomic.Int64
+	builders builderPool
+
+	// pending is the synchronous facade's accumulating batch (Submit plans
+	// into it, Punctuate seals it). The pipeline owns its own.
+	pending *pendingBatch
+
+	// universe is the ND fan-out key universe: a snapshot of the table's
+	// key set taken at quiescent points, so planning never sweeps the
+	// table while execution is running. lastDictLen/lastBirths detect
+	// staleness cheaply (new keys must either intern a fresh string or
+	// birth a chain); only refreshUniverse's single caller-at-a-time
+	// touches them.
+	universe    atomic.Pointer[[]store.KeyID]
+	lastDictLen int
+	lastBirths  int64
 
 	// TxnScheduler state: profiled workload characteristics feeding the
-	// decision model.
+	// decision model. Written only by the execution stage (one goroutine
+	// at a time in either mode).
 	lastAbortRatio float64
 	lastComplexity time.Duration
 
 	// Breakdown accumulates the time breakdown across batches.
 	Breakdown *metrics.Breakdown
 
-	batches int
+	batches atomic.Int64
+
+	// Streaming lifecycle state (pipeline.go).
+	lifeMu  sync.Mutex
+	pipe    atomic.Pointer[pipeline]
+	running atomic.Bool
+	closed  bool
+	results chan *BatchResult
+	overlap metrics.OverlapMeter
 }
 
 // Option customises an Engine's Config beyond its literal fields; the
@@ -144,6 +307,31 @@ func WithShards(n int) Option {
 	return func(c *Config) { c.Shards = n }
 }
 
+// WithPunctuationCount seals a pipelined batch after n ingested events
+// (punctuation as policy rather than a caller-driven method).
+func WithPunctuationCount(n int) Option {
+	return func(c *Config) { c.PunctuateEvery = n }
+}
+
+// WithPunctuationInterval additionally seals a non-empty pipelined batch at
+// most d after its first event.
+func WithPunctuationInterval(d time.Duration) Option {
+	return func(c *Config) { c.PunctuateInterval = d }
+}
+
+// WithIngestBuffer sets the submission-ring capacity (rounded up to a power
+// of two).
+func WithIngestBuffer(n int) Option {
+	return func(c *Config) { c.IngestBuffer = n }
+}
+
+// WithResultSink delivers batch results through fn (called on the
+// pipeline's executor goroutine, in punctuation order) instead of the
+// Results channel.
+func WithResultSink(fn func(*BatchResult)) Option {
+	return func(c *Config) { c.Sink = fn }
+}
+
 // New creates an engine over a fresh state table.
 func New(cfg Config, opts ...Option) *Engine {
 	for _, o := range opts {
@@ -152,50 +340,83 @@ func New(cfg Config, opts ...Option) *Engine {
 	if cfg.Threads < 1 {
 		cfg.Threads = 1
 	}
+	if cfg.PunctuateEvery <= 0 {
+		cfg.PunctuateEvery = DefaultPunctuateEvery
+	}
+	if cfg.IngestBuffer <= 0 {
+		cfg.IngestBuffer = DefaultIngestBuffer
+	}
 	return &Engine{
 		cfg:            cfg,
 		table:          store.NewTable(),
 		latency:        metrics.NewLatencyRecorder(),
-		groups:         make(map[int]*group),
 		lastComplexity: 10 * time.Microsecond,
 		Breakdown:      &metrics.Breakdown{},
+		results:        make(chan *BatchResult, resultsBuffer),
 	}
 }
 
-// Table exposes the shared state table for preloading.
+// Table exposes the shared state table for preloading. Read it only at
+// quiescent points: before Start, between Punctuate calls, or after
+// Drain/Close.
 func (e *Engine) Table() *store.Table { return e.table }
 
 // Latency exposes the end-to-end latency recorder.
 func (e *Engine) Latency() *metrics.LatencyRecorder { return e.latency }
 
 // Batches reports how many punctuations have been processed.
-func (e *Engine) Batches() int { return e.batches }
+func (e *Engine) Batches() int { return int(e.batches.Load()) }
 
-func (e *Engine) groupOf(id int) *group {
-	g := e.groups[id]
-	if g == nil {
-		g = &group{builder: tpg.NewBuilderIDs(e.table.KeyIDs)}
-		e.groups[id] = g
+// PipelineStats reads the plan/execute overlap meter (zero when the
+// pipeline never ran).
+func (e *Engine) PipelineStats() metrics.OverlapStats { return e.overlap.Stats() }
+
+// universeSnapshot supplies the ND fan-out key universe to TPG builders: the
+// table's key set as of the last quiescent refresh. Keys interned after the
+// snapshot clamp into the state table's last shard exactly like mid-batch
+// ND-created keys (PR 4), and keys touched by the batch being planned are
+// added by the builder itself.
+func (e *Engine) universeSnapshot() []store.KeyID {
+	if p := e.universe.Load(); p != nil {
+		return *p
 	}
-	return g
+	return nil
 }
 
-// Submit runs the stream processing phase for one input event: PreProcess,
-// StateAccess (planning the transaction into the TPG), and caching the
-// event for post-processing at the next punctuation. Events are processed
-// in arrival order; out-of-order *timestamps* are exercised through the
-// planner's sorted lists.
-func (e *Engine) Submit(op Operator, ev *Event) error {
+// refreshUniverse re-snapshots the ND fan-out universe when the table's
+// key set may have grown since the last snapshot: a new key either interns
+// a fresh string (dictionary length moves) or reuses an id interned
+// earlier — by another table sharing the process dictionary, or re-created
+// after a rollback removal — in which case the table's chain-birth counter
+// moves. Callers must be at a quiescent point (no executor running against
+// the table): Start, the synchronous Punctuate, and the execution stage's
+// batch boundary all are.
+func (e *Engine) refreshUniverse() {
+	dl, births := e.table.DictLen(), e.table.KeyBirths()
+	if dl != e.lastDictLen || births != e.lastBirths || e.universe.Load() == nil {
+		ids := e.table.KeyIDs()
+		e.universe.Store(&ids)
+		e.lastDictLen = dl
+		e.lastBirths = births
+	}
+}
+
+// planEvent runs the stream processing phase for one input event —
+// PreProcess, StateAccess (planning the transaction into the TPG), caching
+// the event for post-processing — against pb. Events are planned in call
+// order; out-of-order *timestamps* are exercised through the planner's
+// sorted lists.
+func (e *Engine) planEvent(pb *pendingBatch, op Operator, ev *Event) error {
+	start := time.Now()
 	if ev.Arrival.IsZero() {
-		ev.Arrival = time.Now()
+		ev.Arrival = start
 	}
 	eb, err := op.PreProcess(ev)
 	if err != nil {
 		return fmt.Errorf("engine: preprocess: %w", err)
 	}
 	ts := e.pc.nextTS()
-	e.txnSeq++
-	t := txn.NewTransaction(e.txnSeq, ts)
+	t := txn.NewTransaction(e.txnSeq.Add(1), ts)
 	t.Blotter = eb
 	if e.cfg.GroupFn != nil {
 		t.Group = e.cfg.GroupFn(ev.Data)
@@ -205,41 +426,66 @@ func (e *Engine) Submit(op Operator, ev *Event) error {
 	}
 
 	sw := metrics.Start()
-	g := e.groupOf(t.Group)
+	g := pb.groupOf(e, t.Group)
 	g.builder.AddTxn(t)
 	g.txns++
 	sw.Stop(e.Breakdown, metrics.Construct)
 
-	e.cache = append(e.cache, cachedEvent{ev: ev, eb: eb, t: t, op: op})
+	if len(pb.cache) == 0 {
+		pb.firstAt = start
+	}
+	pb.cache = append(pb.cache, cachedEvent{ev: ev, eb: eb, t: t, op: op})
+	pb.planned += time.Since(start)
 	return nil
 }
 
-// Punctuate ends the current batch: it refines each group's TPG, makes the
-// scheduling decisions, executes all groups concurrently, post-processes
-// the cached events, and (optionally) cleans temporal objects up.
-func (e *Engine) Punctuate() *BatchResult {
+// seal ends a batch's planning: each group's TPG is finalized into a
+// plannedJob, and the batch becomes immutable hand-off state for the
+// execution stage.
+func (e *Engine) seal(pb *pendingBatch) *plannedBatch {
 	start := time.Now()
-	res := &BatchResult{Decisions: make(map[int]sched.Decision)}
-	res.Events = len(e.cache)
-
-	type job struct {
-		id       int
-		graph    *tpg.Graph
-		decision sched.Decision
+	out := &plannedBatch{
+		cache:   pb.cache,
+		events:  len(pb.cache),
+		dropped: pb.dropped,
 	}
-	var jobs []job
-	for id, g := range e.groups {
+	for id, g := range pb.groups {
 		if g.txns == 0 {
 			continue
 		}
 		sw := metrics.Start()
 		graph := g.builder.Finalize(e.cfg.Threads)
 		sw.Stop(e.Breakdown, metrics.Construct)
+		out.jobs = append(out.jobs, plannedJob{id: id, graph: graph, builder: g.builder})
+	}
+	out.planned = pb.planned + time.Since(start)
+	return out
+}
 
-		d, props := e.decide(id, graph)
-		res.Decisions[id] = d
+// executeBatch runs the transaction processing phase of one sealed batch:
+// decide per group, align the state table, execute all groups concurrently,
+// post-process the cached events, profile, and clean temporal objects up.
+// Exactly one executeBatch runs at a time (the punctuation quiescent
+// point); in the pipeline it overlaps only planning, which touches no table
+// state.
+func (e *Engine) executeBatch(pb *plannedBatch) *BatchResult {
+	start := time.Now()
+	res := &BatchResult{Decisions: make(map[int]sched.Decision)}
+	res.Events = pb.events
+	res.Dropped = pb.dropped
+	res.PlanElapsed = pb.planned
+
+	type job struct {
+		id       int
+		graph    *tpg.Graph
+		decision sched.Decision
+	}
+	jobs := make([]job, 0, len(pb.jobs))
+	for _, pj := range pb.jobs {
+		d, props := e.decide(pj.id, pj.graph)
+		res.Decisions[pj.id] = d
 		res.Props = mergeProps(res.Props, props)
-		jobs = append(jobs, job{id: id, graph: graph, decision: d})
+		jobs = append(jobs, job{id: pj.id, graph: pj.graph, decision: d})
 	}
 
 	// Align the state table's KeyID-range shards to the executor's shard
@@ -292,7 +538,7 @@ func (e *Engine) Punctuate() *BatchResult {
 
 	// Post-processing of cached events (mode switch back, Algorithm 1).
 	now := time.Now()
-	for _, ce := range e.cache {
+	for _, ce := range pb.cache {
 		_ = ce.op.PostProcess(ce.ev, ce.eb, ce.t.Aborted())
 		e.latency.Record(now.Sub(ce.ev.Arrival))
 	}
@@ -307,27 +553,16 @@ func (e *Engine) Punctuate() *BatchResult {
 		}
 	}
 
-	// Clean-up of temporal objects (Section 8.3.3). Active group planners
-	// are reset, not discarded: the TPG builder retains its per-key lists
-	// and scratch buffers so steady-state planning is allocation-free.
-	// Graphs are recycled into their builders the same way — execution and
-	// post-processing are over, so nothing references the batch's ops or
-	// their edge arrays any more. Groups idle for a whole punctuation are
-	// evicted, bounding memory by the live group working set rather than
-	// every group id ever seen.
-	for _, j := range jobs {
-		if g := e.groups[j.id]; g != nil {
-			g.builder.Recycle(j.graph)
-		}
-	}
-	e.cache = e.cache[:0]
-	for id, g := range e.groups {
-		if g.txns == 0 {
-			delete(e.groups, id)
-			continue
-		}
-		g.builder.Reset()
-		g.txns = 0
+	// Clean-up of temporal objects (Section 8.3.3). Graphs are recycled
+	// into the builders that produced them — execution and post-processing
+	// are over, so nothing references the batch's ops or edge arrays any
+	// more — and the reset builders return to the pool for a later batch's
+	// planning (steady-state planning stays allocation-free).
+	res.Seq = e.batches.Add(1)
+	for _, pj := range pb.jobs {
+		pj.builder.Recycle(pj.graph)
+		pj.builder.Reset()
+		e.builders.put(pj.id, pj.builder, res.Seq)
 	}
 	if e.cfg.Cleanup {
 		// Truncate both discards temporal objects and recycles each table
@@ -335,10 +570,47 @@ func (e *Engine) Punctuate() *BatchResult {
 		// recycling above, at the same batch boundary.
 		e.table.Truncate(^uint64(0))
 	}
+	// Re-snapshot the ND fan-out universe while still quiescent, so the
+	// (possibly concurrent) planning of later batches never reads the
+	// table.
+	e.refreshUniverse()
 
-	e.batches++
 	res.Elapsed = time.Since(start)
 	return res
+}
+
+// Submit runs the stream processing phase for one input event through the
+// synchronous facade. It returns ErrStarted while the pipeline is running:
+// a started engine ingests through Ingest.
+func (e *Engine) Submit(op Operator, ev *Event) error {
+	if e.running.Load() {
+		return ErrStarted
+	}
+	if e.pending == nil {
+		e.pending = newPendingBatch()
+	}
+	return e.planEvent(e.pending, op, ev)
+}
+
+// Punctuate synchronously ends the current batch: it refines each group's
+// TPG, makes the scheduling decisions, executes all groups concurrently,
+// post-processes the cached events, and (optionally) cleans temporal
+// objects up. It panics on a started engine — punctuation is policy there
+// (WithPunctuationCount/Interval, Drain).
+func (e *Engine) Punctuate() *BatchResult {
+	if e.running.Load() {
+		panic("engine: Punctuate on a started engine; use Drain and Results")
+	}
+	pb := e.pending
+	e.pending = nil
+	if pb == nil {
+		pb = newPendingBatch()
+	}
+	e.refreshUniverse() // quiescent: cover preloads since the last batch
+	// Elapsed stays the execution phase alone (as in the pipeline);
+	// planning time — including the seal's Finalize — is PlanElapsed, so
+	// the two fields never double-count.
+	return e.executeBatch(e.seal(pb))
 }
 
 // decide picks the scheduling decision for one group: pinned per-group

@@ -1,0 +1,401 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Streaming lifecycle errors.
+var (
+	// ErrStarted is returned by the synchronous facade (Submit) and by
+	// Start while the pipeline is running.
+	ErrStarted = errors.New("engine: pipeline started")
+	// ErrNotStarted is returned by Ingest/Drain before Start.
+	ErrNotStarted = errors.New("engine: pipeline not started")
+	// ErrClosed is returned once the pipeline has been closed or its
+	// context cancelled.
+	ErrClosed = errors.New("engine: pipeline closed")
+)
+
+// pipeline is the running streaming lifecycle of an engine: a bounded MPSC
+// submission ring feeding a planner goroutine, which seals punctuation
+// batches and hands them to an executor goroutine over a depth-1 channel —
+// so planning of batch N+1 (PreProcess + StateAccess + TPG construction,
+// table-free) overlaps execution of batch N (align + execute +
+// post-process, the punctuation quiescent point).
+//
+//	Ingest* -> [submission ring] -> planner -> [execCh] -> executor -> Results/Sink
+//
+// Teardown paths:
+//   - Close(): flush everything (a stop marker through the ring preserves
+//     ordering), deliver all results, then stop both stages.
+//   - context cancellation: stop planning immediately; events not yet
+//     executed are discarded (planning wrote no table state, so dropping
+//     them is clean); the batch already inside exec.Run finishes.
+type pipeline struct {
+	e   *Engine
+	ctx context.Context
+
+	ring   *ingestRing
+	execCh chan pipeMsg
+
+	// ingestClosed rejects new Ingest calls once Close began.
+	ingestClosed atomic.Bool
+	closeOnce    sync.Once
+	// clean records that the planner exited through the stop marker (all
+	// ingested events flushed) rather than via cancellation.
+	clean atomic.Bool
+
+	execDone chan struct{}
+}
+
+// pipeMsg crosses the plan/execute stage boundary: a sealed batch, a flush
+// barrier, or both (flush ordered after the batch).
+type pipeMsg struct {
+	batch *plannedBatch
+	flush chan struct{}
+}
+
+// Start spins the pipeline up. Events previously planned through the
+// synchronous facade are carried into the first pipelined batch. Start
+// returns ErrStarted while a pipeline is running and ErrClosed after Close:
+// the lifecycle is single-use.
+func (e *Engine) Start(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.lifeMu.Lock()
+	defer e.lifeMu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if e.pipe.Load() != nil {
+		return ErrStarted
+	}
+	// Quiescent by definition: no pipeline, no batch executing.
+	e.refreshUniverse()
+	p := &pipeline{
+		e:        e,
+		ctx:      ctx,
+		ring:     newIngestRing(e.cfg.IngestBuffer),
+		execCh:   make(chan pipeMsg, 1),
+		execDone: make(chan struct{}),
+	}
+	pending := e.pending
+	e.pending = nil
+	if pending == nil {
+		pending = newPendingBatch()
+	}
+	e.pipe.Store(p)
+	e.running.Store(true)
+	go p.plannerLoop(pending)
+	go p.executorLoop()
+	return nil
+}
+
+// Ingest enqueues one event onto the submission ring, blocking while the
+// ring is full (backpressure). The planner stage runs PreProcess and
+// StateAccess; a PreProcess failure is reported asynchronously through
+// BatchResult.Dropped rather than an Ingest error. Safe for concurrent use
+// from any number of goroutines; events from a single goroutine keep their
+// ingestion order.
+func (e *Engine) Ingest(op Operator, ev *Event) error {
+	p := e.pipe.Load()
+	if p == nil {
+		return ErrNotStarted
+	}
+	if p.ingestClosed.Load() || p.ctx.Err() != nil {
+		return ErrClosed
+	}
+	if ev.Arrival.IsZero() {
+		ev.Arrival = time.Now()
+	}
+	return p.ring.push(ingestItem{op: op, ev: ev})
+}
+
+// Drain flushes the pipeline: it seals the partially accumulated batch (if
+// any), waits until every event ingested before the call has been executed,
+// and until every result has been handed to the sink or the Results
+// channel. The pipeline keeps running; Drain may be called repeatedly.
+// Callers must consume Results (or install a sink) or Drain cannot
+// complete. Returns the cancellation cause if the pipeline was aborted.
+func (e *Engine) Drain() error {
+	p := e.pipe.Load()
+	if p == nil {
+		return ErrNotStarted
+	}
+	ch := make(chan struct{})
+	if err := p.ring.push(ingestItem{flush: ch}); err != nil {
+		return p.closeErr()
+	}
+	select {
+	case <-ch:
+		// The barrier can also resolve on the cancellation path, where
+		// in-flight batches were discarded rather than flushed: report
+		// the cause instead of claiming a successful flush.
+		if err := p.ctx.Err(); err != nil {
+			return err
+		}
+		return nil
+	case <-p.execDone:
+		// The pipeline went down before the barrier resolved.
+		return p.closeErr()
+	}
+}
+
+// Close flushes the pipeline (every event ingested before Close executes
+// and its result is delivered), tears both stages down, and closes the
+// Results channel. Idempotent. After Close the synchronous facade works
+// again, but the pipeline cannot be restarted. If the pipeline was aborted
+// by context cancellation, Close skips the flush — events not yet executed
+// are discarded — and returns the context's error.
+//
+// Like Drain, Close can only complete once every pending result has been
+// handed off: without a configured Sink, keep a goroutine receiving from
+// Results() until it closes (or call Close itself from a goroutine and
+// range Results on the caller, as examples/quickstart does) — otherwise
+// the delivery backpressure that bounds the pipeline also blocks Close.
+func (e *Engine) Close() error {
+	e.lifeMu.Lock()
+	p := e.pipe.Load()
+	if p == nil {
+		// Never started: latch the lifecycle shut and close Results so a
+		// consumer goroutine ranging it terminates as documented.
+		if !e.closed {
+			e.closed = true
+			close(e.results)
+		}
+		e.lifeMu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.lifeMu.Unlock()
+
+	p.closeOnce.Do(func() {
+		p.ingestClosed.Store(true)
+		ch := make(chan struct{})
+		// Best effort: on a cancelled pipeline the ring may already be
+		// closed and the marker is unnecessary.
+		_ = p.ring.push(ingestItem{flush: ch, stop: true})
+	})
+	<-p.execDone
+	e.running.Store(false)
+	return p.closeErr()
+}
+
+// Results delivers batch results in punctuation order while the pipeline
+// runs. The channel is closed by Close (or by context cancellation) once
+// the last result is out. Unused when a Sink is configured. Consume it
+// promptly: the channel's bounded buffer is the pipeline's delivery
+// backpressure, so an abandoned Results channel eventually stalls
+// execution, Ingest, Drain and Close alike.
+func (e *Engine) Results() <-chan *BatchResult { return e.results }
+
+// closeErr maps the teardown cause to a public error.
+func (p *pipeline) closeErr() error {
+	if p.clean.Load() {
+		return nil
+	}
+	if err := p.ctx.Err(); err != nil {
+		return err
+	}
+	return ErrClosed
+}
+
+// ---- planner stage ----
+
+// plannerLoop drains the submission ring, plans events into the pending
+// batch, and seals a batch whenever the punctuation policy fires (count or
+// interval) or a flush barrier arrives. Sealed batches block on execCh
+// until the executor stage frees up — the pipeline's plan-ahead depth of
+// one batch.
+func (p *pipeline) plannerLoop(pending *pendingBatch) {
+	e := p.e
+	defer close(p.execCh)
+	defer p.ring.close() // idempotent; releases producers on the cancel path
+
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	stopTimer := func() {
+		if timer != nil {
+			timer.Stop()
+			timer = nil
+			timerC = nil
+		}
+	}
+	// batchLoad counts everything the pending batch has to report —
+	// planned events AND preprocess drops — so a stream of malformed
+	// events still punctuates and surfaces BatchResult.Dropped on policy,
+	// not only at an explicit Drain/Close.
+	batchLoad := func() int { return len(pending.cache) + pending.dropped }
+	armTimer := func() {
+		if e.cfg.PunctuateInterval > 0 && timer == nil && batchLoad() > 0 {
+			d := e.cfg.PunctuateInterval - time.Since(pending.firstAt)
+			if d < 0 {
+				d = 0
+			}
+			timer = time.NewTimer(d)
+			timerC = timer.C
+		}
+	}
+	defer stopTimer()
+
+	// sealAndSend hands the pending batch to the executor stage. Returns
+	// false when the pipeline was cancelled mid-hand-off.
+	sealAndSend := func(flush chan struct{}) bool {
+		stopTimer()
+		var msg pipeMsg
+		if batchLoad() > 0 {
+			e.overlap.SetPlan(true)
+			msg.batch = e.seal(pending)
+			pending = newPendingBatch()
+		}
+		msg.flush = flush
+		if msg.batch == nil && msg.flush == nil {
+			return true
+		}
+		e.overlap.SetPlan(false) // waiting on the executor is not planning
+		select {
+		case p.execCh <- msg:
+			return true
+		case <-p.ctx.Done():
+			if msg.flush != nil {
+				// Unblock the Drain caller; closeErr reports the cause.
+				select {
+				case p.execCh <- pipeMsg{flush: msg.flush}:
+				default:
+					close(msg.flush)
+				}
+			}
+			return false
+		}
+	}
+
+	// handle plans one ring item; the bool result means "keep running".
+	handle := func(it ingestItem) bool {
+		if it.flush != nil || it.stop {
+			if !sealAndSend(it.flush) {
+				return false
+			}
+			if it.stop {
+				// Close: flush the Ingest calls that raced the closing
+				// flag, then shut down. The pre-seal drain is best
+				// effort; sealing the tail (ring.close) then draining
+				// again is exhaustive — after the seal no claim can
+				// succeed, and claims that won before it are observed
+				// by drainPending (see ring.go's teardown contract), so
+				// an Ingest that returned nil is never dropped.
+				late := func(s ingestItem) {
+					if s.flush != nil {
+						sealAndSend(s.flush)
+						return
+					}
+					p.planItem(pending, s)
+				}
+				p.ring.drainPending(late)
+				p.ring.close()
+				p.ring.drainPending(late)
+				sealAndSend(nil)
+				p.clean.Store(true)
+				return false
+			}
+			return true
+		}
+		p.planItem(pending, it)
+		armTimer()
+		if batchLoad() >= e.cfg.PunctuateEvery {
+			return sealAndSend(nil)
+		}
+		return true
+	}
+
+	for {
+		// Burst-drain everything queued.
+		for {
+			it, ok := p.ring.pop()
+			if !ok {
+				break
+			}
+			e.overlap.SetPlan(true)
+			if !handle(it) {
+				return
+			}
+		}
+		e.overlap.SetPlan(false)
+		armTimer()
+		select {
+		case <-p.ring.notEmpty:
+		case <-timerC:
+			timer, timerC = nil, nil
+			if !sealAndSend(nil) {
+				return
+			}
+		case <-p.ctx.Done():
+			// Cancelled: the pending batch is discarded. Planning wrote
+			// no table state, so the events simply never execute.
+			return
+		}
+	}
+}
+
+// planItem plans one ingested event; PreProcess/StateAccess failures are
+// accounted as drops on the batch (the asynchronous counterpart of Submit's
+// error return). A drop opens a batch like a planned event does, so the
+// interval policy also bounds how long pure-failure streams stay silent.
+func (p *pipeline) planItem(pending *pendingBatch, it ingestItem) {
+	if err := p.e.planEvent(pending, it.op, it.ev); err != nil {
+		if len(pending.cache) == 0 && pending.dropped == 0 {
+			pending.firstAt = time.Now()
+		}
+		pending.dropped++
+	}
+}
+
+// ---- executor stage ----
+
+// executorLoop runs sealed batches one at a time — the punctuation
+// quiescent point — and delivers results in order.
+func (p *pipeline) executorLoop() {
+	e := p.e
+	defer close(p.execDone)
+	defer close(e.results)
+	for msg := range p.execCh {
+		if msg.batch != nil {
+			if p.ctx.Err() != nil {
+				// Cancelled: abort cleanly mid-batch. The sealed batch
+				// never ran, so no table state needs undoing.
+				if msg.flush != nil {
+					close(msg.flush)
+				}
+				continue
+			}
+			e.overlap.SetExec(true)
+			res := e.executeBatch(msg.batch)
+			e.overlap.SetExec(false)
+			p.deliver(res)
+		}
+		if msg.flush != nil {
+			close(msg.flush)
+		}
+	}
+}
+
+// deliver hands one result to the sink or the Results channel, blocking for
+// backpressure; on cancellation delivery degrades to best effort.
+func (p *pipeline) deliver(r *BatchResult) {
+	if p.e.cfg.Sink != nil {
+		p.e.cfg.Sink(r)
+		return
+	}
+	select {
+	case p.e.results <- r:
+	case <-p.ctx.Done():
+		select {
+		case p.e.results <- r:
+		default: // cancelled and nobody listening: drop
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The submission ring is the pipeline's front door: Ingest calls from any
+// number of application goroutines enqueue events here, and the single
+// planner stage drains them in arrival order. It is a bounded MPSC ring in
+// the same padded-atomic style as the executor's ready rings (PR 2/3):
+// producers claim slots with a CAS on the tail cursor against a per-slot
+// sequence number (so fullness is detected without ever reading the
+// consumer's cursor), the consumer advances head with plain atomic stores,
+// and no path takes a lock. Blocking — backpressure for producers on a full
+// ring, parking for the idle planner — goes through two capacity-1 token
+// channels plus a closed channel that releases every waiter at teardown.
+//
+// Wake protocol (lost-wakeup-free, as in the executor's parking lots):
+// a producer publishes its slot *then* offers a notEmpty token; the consumer
+// re-checks the ring after taking a token before parking again. Symmetri-
+// cally the consumer frees a slot then offers a notFull token, and waiting
+// producers re-check the slot sequence after waking. A dropped token (the
+// channel already holds one) is always covered by the token in flight.
+//
+// Teardown is loss-free: close() seals the tail cursor by fetch-or'ing a
+// high bit into it. A producer's claim CAS asserts the bit is absent, so
+// after the seal no new claim can ever succeed — a post-close drain that
+// reads the sealed tail observes every claim that won and can wait out its
+// publication (bounded: the claimant is between two instructions). This is
+// what lets Close guarantee "every accepted event executes".
+
+// ringCacheLine matches the executor's padding granularity.
+const ringCacheLine = 128
+
+// ringSpinLimit bounds a producer's busy retries before it parks on the
+// notFull channel.
+const ringSpinLimit = 64
+
+// ringClosedBit seals the tail cursor at teardown.
+const ringClosedBit = uint64(1) << 63
+
+type paddedCursor struct {
+	v atomic.Uint64
+	_ [ringCacheLine - 8]byte
+}
+
+// ingestItem is one submission-ring entry: an event to plan, or — when
+// flush is non-nil — a punctuation barrier from Drain/Close.
+type ingestItem struct {
+	op Operator
+	ev *Event
+	// flush, when non-nil, is closed by the executor stage once every batch
+	// sealed before this marker has been executed and delivered.
+	flush chan struct{}
+	// stop additionally asks the planner to shut the pipeline down after
+	// flushing (Close's marker).
+	stop bool
+}
+
+type ringSlot struct {
+	seq  atomic.Uint64
+	item ingestItem
+}
+
+type ingestRing struct {
+	tail     paddedCursor // producers claim here; high bit = closed
+	head     paddedCursor // single-consumer cursor
+	mask     uint64
+	slots    []ringSlot
+	notEmpty chan struct{} // producers -> consumer, capacity 1
+	notFull  chan struct{} // consumer -> producers, capacity 1
+	closed   chan struct{} // closed at teardown; releases blocked producers
+	closeOne sync.Once
+}
+
+// newIngestRing sizes the ring to the next power of two >= capacity.
+func newIngestRing(capacity int) *ingestRing {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	r := &ingestRing{
+		mask:     uint64(n - 1),
+		slots:    make([]ringSlot, n),
+		notEmpty: make(chan struct{}, 1),
+		notFull:  make(chan struct{}, 1),
+		closed:   make(chan struct{}),
+	}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push enqueues it, blocking while the ring is full (backpressure). It
+// returns ErrClosed once the ring has been sealed; a nil return means the
+// item was claimed before the seal, so a post-close drainPending is
+// guaranteed to observe it.
+func (r *ingestRing) push(it ingestItem) error {
+	spins := 0
+	for {
+		t := r.tail.v.Load()
+		if t&ringClosedBit != 0 {
+			return ErrClosed
+		}
+		slot := &r.slots[t&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == t: // slot free at this lap: try to claim it
+			// The CAS asserts the closed bit is still absent: close()'s
+			// fetch-or changes the cursor value, failing any in-flight
+			// claim, so a successful claim is strictly pre-seal.
+			if r.tail.v.CompareAndSwap(t, t+1) {
+				slot.item = it
+				slot.seq.Store(t + 1) // publish
+				select {
+				case r.notEmpty <- struct{}{}:
+				default:
+				}
+				return nil
+			}
+		case seq < t: // full: head is a whole lap behind
+			if spins++; spins < ringSpinLimit {
+				runtime.Gosched()
+				continue
+			}
+			spins = 0
+			select {
+			case <-r.notFull:
+			case <-r.closed:
+				return ErrClosed
+			}
+		default: // another producer claimed t concurrently; retry at t+1
+			runtime.Gosched()
+		}
+	}
+}
+
+// pop dequeues the next item. Single consumer only.
+func (r *ingestRing) pop() (ingestItem, bool) {
+	h := r.head.v.Load()
+	slot := &r.slots[h&r.mask]
+	if slot.seq.Load() != h+1 {
+		return ingestItem{}, false
+	}
+	it := slot.item
+	slot.item = ingestItem{} // drop references for GC
+	slot.seq.Store(h + uint64(len(r.slots)))
+	r.head.v.Store(h + 1)
+	select {
+	case r.notFull <- struct{}{}:
+	default:
+	}
+	return it, true
+}
+
+// drainPending pops until head reaches the tail cursor, spinning through
+// producers that have claimed but not yet published a slot (they are
+// between two instructions, so publication is bounded). Called after
+// close() it is exhaustive: the sealed tail admits no further claims, so
+// every accepted push is observed.
+func (r *ingestRing) drainPending(fn func(ingestItem)) {
+	for {
+		h := r.head.v.Load()
+		if h == r.tail.v.Load()&^ringClosedBit {
+			return
+		}
+		it, ok := r.pop()
+		if !ok {
+			// Claimed but unpublished: the producer is mid-store.
+			runtime.Gosched()
+			continue
+		}
+		fn(it)
+	}
+}
+
+// close seals the tail — no claim can succeed afterwards — and releases
+// every blocked producer with ErrClosed. Idempotent.
+func (r *ingestRing) close() {
+	r.closeOne.Do(func() {
+		r.tail.v.Or(ringClosedBit)
+		close(r.closed)
+	})
+}
+
+// len approximates the number of queued items (racy; stats/tests only).
+func (r *ingestRing) len() int {
+	t, h := r.tail.v.Load()&^ringClosedBit, r.head.v.Load()
+	if t < h {
+		return 0
+	}
+	return int(t - h)
+}

@@ -157,3 +157,33 @@ func TestDynamicExperimentsRun(t *testing.T) {
 		t.Fatalf("fig17 rows = %d", len(r17.Rows))
 	}
 }
+
+// TestPipelineOverlapExperiment checks the pipelined-vs-synchronous
+// comparison runs at tiny scale, processes every event in both modes, and
+// actually measures overlap.
+func TestPipelineOverlapExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	b, batchSize := pipelineWorkload(testScale)
+	sc, _ := RunSynchronousBaseline(b, batchSize, 2)
+	pc, _, st := RunPipelined(b, batchSize, 2)
+	if sc != pc {
+		t.Fatalf("committed: sync %d vs pipelined %d", sc, pc)
+	}
+	if sc == 0 {
+		t.Fatal("nothing committed")
+	}
+	if st.PlanBusy <= 0 || st.ExecBusy <= 0 {
+		t.Fatalf("overlap meter empty: %+v", st)
+	}
+	r := PipelineOverlap(testScale, 2)
+	if len(r.Rows) != 2 {
+		t.Fatalf("report rows = %d; want 2\n%s", len(r.Rows), r)
+	}
+	for i, row := range r.Rows {
+		if len(row) != len(r.Header) {
+			t.Fatalf("row %d has %d cells; header has %d", i, len(row), len(r.Header))
+		}
+	}
+}

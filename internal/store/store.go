@@ -160,9 +160,13 @@ type layout struct {
 	num    int
 	span   uint64
 	shards []tableShard
+	// births points at the owning table's key-birth counter (see
+	// Table.KeyBirths); carried on the layout so the pinned View write
+	// path can record chain births without a table back-pointer.
+	births *atomic.Int64
 }
 
-func newLayout(num int, span KeyID) *layout {
+func newLayout(num int, span KeyID, births *atomic.Int64) *layout {
 	if num < 1 {
 		num = 1
 	}
@@ -170,7 +174,7 @@ func newLayout(num int, span KeyID) *layout {
 	if s == 0 {
 		s = 1
 	}
-	ly := &layout{num: num, span: s, shards: make([]tableShard, num)}
+	ly := &layout{num: num, span: s, shards: make([]tableShard, num), births: births}
 	empty := make([]*chainBlock, 0)
 	for i := range ly.shards {
 		sh := &ly.shards[i]
@@ -322,12 +326,18 @@ type Table struct {
 	stripes [apiStripes]sync.Mutex
 	// safetyLocks counts stripe acquisitions for lock-freedom assertions.
 	safetyLocks atomic.Int64
+	// births counts chain births — keys becoming present in this table.
+	// Together with DictLen it is a cheap staleness signal for key-set
+	// snapshots: unchanged births + unchanged dict length means the
+	// table's key set cannot have grown (keys only appear through a birth,
+	// and removal never requires a snapshot refresh).
+	births atomic.Int64
 }
 
 // NewTable returns an empty table (one all-covering shard until Align).
 func NewTable() *Table {
 	t := &Table{dict: defaultDict}
-	t.layout.Store(newLayout(1, 1))
+	t.layout.Store(newLayout(1, 1, &t.births))
 	return t
 }
 
@@ -363,7 +373,9 @@ func (t *Table) Align(num int, span KeyID) {
 	if num == old.num && s == old.span {
 		return
 	}
-	nl := newLayout(num, KeyID(s))
+	// Moving existing chains to the new layout is not a birth: the key
+	// set is unchanged, so births stays put.
+	nl := newLayout(num, KeyID(s), &t.births)
 	old.forEachChain(func(id KeyID, c *chain) {
 		sh := nl.of(id)
 		idx := uint64(id) - sh.lo
@@ -372,6 +384,13 @@ func (t *Table) Align(num int, span KeyID) {
 	})
 	t.layout.Store(nl)
 }
+
+// KeyBirths reports how many chain births this table has seen: a single
+// atomic load, safe at any time. The engine pairs it with DictLen to
+// detect — without sweeping the table — whether the key set may have
+// grown since its last quiescent-point universe snapshot (a key created
+// by reusing an id interned long ago moves births but not DictLen).
+func (t *Table) KeyBirths() int64 { return t.births.Load() }
 
 // Shards reports the current (num shards, span) partition, mostly for
 // tests asserting executor/table alignment.
@@ -424,9 +443,13 @@ func (t *Table) PreloadID(id KeyID, v Value) {
 	ly := t.layout.Load()
 	sh := ly.of(id)
 	idx := uint64(id) - sh.lo
+	slot := sh.slotFor(idx)
+	if slot.Load() == nil {
+		ly.births.Add(1)
+	}
 	run := allocVersions(&sh.varena, 2)[:1]
 	run[0] = Version{TS: 0, Value: v}
-	sh.installChain(sh.slotFor(idx), run, 1)
+	sh.installChain(slot, run, 1)
 	sh.noteBirth(idx)
 }
 
@@ -483,6 +506,7 @@ func (ly *layout) writeID(id KeyID, ts uint64, v Value) {
 		run[0] = Version{TS: ts, Value: v}
 		sh.installChain(slot, run, 1)
 		sh.noteBirth(idx)
+		ly.births.Add(1)
 		return
 	}
 	vs := c.snap()
@@ -778,6 +802,12 @@ func (t *Table) KeyIDs() []KeyID {
 	return out
 }
 
+// DictLen reports how many keys the table's dictionary has interned. It is
+// a single atomic load, safe at any time; the engine uses it as a cheap
+// staleness signal for its quiescent-point key-universe snapshot (the
+// dictionary is append-only, so an unchanged length means no new keys).
+func (t *Table) DictLen() int { return t.dict.Len() }
+
 // Keys returns every key currently present, in ascending id order.
 func (t *Table) Keys() []Key {
 	ids := t.KeyIDs()
@@ -832,7 +862,7 @@ func (t *Table) Clone() *Table {
 	defer t.unlockAll()
 	ly := t.layout.Load()
 	c := &Table{dict: t.dict}
-	nl := newLayout(ly.num, KeyID(ly.span))
+	nl := newLayout(ly.num, KeyID(ly.span), &c.births)
 	ly.forEach(func(id KeyID, vs []Version) {
 		sh := nl.of(id)
 		idx := uint64(id) - sh.lo
@@ -840,6 +870,7 @@ func (t *Table) Clone() *Table {
 		copy(nvs, vs)
 		sh.installChain(sh.slotFor(idx), nvs, len(nvs))
 		sh.noteBirth(idx)
+		nl.births.Add(1)
 	})
 	c.layout.Store(nl)
 	return c

@@ -207,7 +207,15 @@ func (b *Batch) Materialize() ([]*txn.Transaction, *store.Table) {
 func (s TxnSpec) Materialize() *txn.Transaction {
 	t := txn.NewTransaction(s.ID, s.TS)
 	t.Group = s.Group
-	bld := txn.Build(t)
+	s.Issue(txn.Build(t))
+	return t
+}
+
+// Issue composes the spec's state accesses on an existing transaction
+// builder. It is the StateAccess half of Materialize, split out so the
+// same canonical specs can also drive an engine-level Operator (the engine
+// allocates the transaction and timestamp itself).
+func (s TxnSpec) Issue(bld *txn.Builder) {
 	for i := range s.Ops {
 		op := s.Ops[i] // copy: closures must not share the loop variable
 		switch {
@@ -243,7 +251,6 @@ func (s TxnSpec) Materialize() *txn.Transaction {
 			bld.Write(op.Key, op.Srcs, writeFn(op))
 		}
 	}
-	return t
 }
 
 func writeFn(op OpSpec) txn.WriteFn {

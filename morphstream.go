@@ -10,6 +10,54 @@
 // variants), and POSTPROCESS consumes the state-access results once the
 // transaction committed or aborted.
 //
+// # Streaming lifecycle
+//
+// The engine runs the paper's three-stage paradigm — planning, scheduling,
+// execution — as a pipeline behind a streaming lifecycle:
+//
+//	eng := morphstream.New(morphstream.Config{Threads: 4, Cleanup: true},
+//		morphstream.WithPunctuationCount(1024))
+//	eng.Table().Preload("alice", int64(100))
+//
+//	if err := eng.Start(ctx); err != nil { ... }   // spin the pipeline up
+//	go func() {
+//		for res := range eng.Results() {           // async batch results
+//			log.Printf("batch %d: %d committed", res.Seq, res.Committed)
+//		}
+//	}()
+//	for ev := range input {
+//		eng.Ingest(op, &morphstream.Event{Data: ev}) // backpressured enqueue
+//	}
+//	eng.Drain() // flush in-flight batches (engine keeps running)
+//	eng.Close() // flush + tear the pipeline down; Results closes
+//
+// Ingest enqueues onto a bounded lock-free submission ring and blocks when
+// it is full — the pipeline's backpressure. A planner stage drains the
+// ring, running PreProcess, StateAccess and TPG construction for batch N+1
+// *concurrently* with the execution of batch N: planning touches no table
+// state, so the state-table alignment and the lock-free sharded execution
+// stay inside the punctuation quiescent point at the stage boundary.
+// Punctuation is policy — WithPunctuationCount seals a batch every n
+// events, WithPunctuationInterval bounds how long a slow stream can hold a
+// batch open — and results arrive asynchronously on Results() (or through
+// WithResultSink). Cancelling the Start context aborts cleanly mid-batch:
+// events not yet executed are discarded without a trace, since planning
+// writes no state.
+//
+// # Synchronous facade
+//
+// The batch-synchronous surface remains as a thin wrapper over the same
+// pipeline stages, for tests, small tools, and workloads that need a
+// barrier after every batch:
+//
+//	eng := morphstream.New(morphstream.Config{Threads: 4, Cleanup: true})
+//	eng.Table().Preload("alice", int64(100))
+//	eng.Submit(op, &morphstream.Event{Data: transfer})
+//	res := eng.Punctuate() // plan + execute the batch, synchronously
+//
+// Submit returns ErrStarted while the pipeline runs; the two surfaces do
+// not mix within a lifecycle phase.
+//
 // Internally the engine follows the paper's three-stage execution paradigm:
 //
 //   - Planning: a two-phase Task Precedence Graph (TPG) construction tracks
@@ -23,20 +71,17 @@
 //     annotations runs on a multi-versioning state table with precise
 //     rollback and redo.
 //
-// Quickstart:
-//
-//	eng := morphstream.New(morphstream.Config{Threads: 4, Cleanup: true})
-//	eng.Table().Preload("alice", int64(100))
-//	eng.Table().Preload("bob", int64(100))
-//	op := morphstream.OperatorFuncs{ ... }
-//	eng.Submit(op, &morphstream.Event{Data: transfer})
-//	res := eng.Punctuate() // process the batch
-//
-// See examples/ for complete programs.
+// See examples/ for complete programs (examples/quickstart and
+// examples/ledger drive the pipelined lifecycle; examples/socialevents and
+// examples/stockexchange use the synchronous facade for their per-window
+// feedback loops).
 package morphstream
 
 import (
+	"time"
+
 	"morphstream/internal/engine"
+	"morphstream/internal/metrics"
 	"morphstream/internal/sched"
 	"morphstream/internal/store"
 	"morphstream/internal/txn"
@@ -90,6 +135,16 @@ type (
 // UDF (e.g. a transfer over an insufficient balance).
 var ErrAbort = txn.ErrAbort
 
+// Streaming lifecycle errors.
+var (
+	// ErrStarted: the pipeline is running (returned by Submit and Start).
+	ErrStarted = engine.ErrStarted
+	// ErrNotStarted: Ingest/Drain before Start.
+	ErrNotStarted = engine.ErrNotStarted
+	// ErrClosed: the pipeline has been closed or its context cancelled.
+	ErrClosed = engine.ErrClosed
+)
+
 // NewEventBlotter returns an empty blotter for PreProcess implementations.
 func NewEventBlotter() *EventBlotter { return txn.NewEventBlotter() }
 
@@ -128,6 +183,10 @@ type (
 	BatchResult = engine.BatchResult
 	// Option customises an Engine beyond the plain Config fields.
 	Option = engine.Option
+	// PipelineStats is one reading of the plan/execute overlap meter
+	// (Engine.PipelineStats): how much planning and execution time the
+	// pipeline ran simultaneously.
+	PipelineStats = metrics.OverlapStats
 )
 
 // WithShards pins the number of KeyID-range shards of the execution layer
@@ -141,6 +200,26 @@ type (
 // explicitly to trade hand-off locality (more shards) against steal
 // frequency (fewer shards).
 func WithShards(n int) Option { return engine.WithShards(n) }
+
+// WithPunctuationCount seals a pipelined batch after n ingested events.
+// Punctuation is policy under the streaming lifecycle; the synchronous
+// facade's Punctuate remains the explicit punctuation.
+func WithPunctuationCount(n int) Option { return engine.WithPunctuationCount(n) }
+
+// WithPunctuationInterval additionally seals a non-empty pipelined batch at
+// most d after its first event, bounding batch latency on slow streams.
+func WithPunctuationInterval(d time.Duration) Option {
+	return engine.WithPunctuationInterval(d)
+}
+
+// WithIngestBuffer sets the submission-ring capacity (rounded up to a power
+// of two); Ingest blocks while it is full.
+func WithIngestBuffer(n int) Option { return engine.WithIngestBuffer(n) }
+
+// WithResultSink delivers batch results through fn — called on the
+// pipeline's executor goroutine, in punctuation order — instead of the
+// Results channel.
+func WithResultSink(fn func(*BatchResult)) Option { return engine.WithResultSink(fn) }
 
 // New creates an engine over a fresh state table.
 func New(cfg Config, opts ...Option) *Engine { return engine.New(cfg, opts...) }
