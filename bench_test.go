@@ -604,3 +604,40 @@ func BenchmarkWindowReadCost(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkHotKeyFusion measures plan-time same-key operation fusion end to
+// end on the θ=1.2 hot-key workload: TPG construction plus execution, with
+// fusion off and on. The hot set concentrates the batch onto a few keys, so
+// without fusion the planner emits one vertex per write and the executor
+// walks ~20k-node dependency chains; with fusion runs collapse (MaxFuseRun
+// caps the fan) and both stages shrink. tpg-nodes reports the planned
+// vertex count per variant.
+func BenchmarkHotKeyFusion(b *testing.B) {
+	batch := workload.HK(workload.Config{
+		Txns: 8192, StateSize: 1024, Theta: 1.2, Length: 2,
+		MultiRatio: 0.05, HotSetFraction: 0.25, Seed: 7,
+	})
+	d := sched.Decision{Explore: sched.NSExplore, Gran: sched.FSchedule, Abort: sched.LAbort}
+	for _, fusion := range []bool{false, true} {
+		name := "off"
+		if fusion {
+			name = "on"
+		}
+		b.Run("fusion="+name, func(b *testing.B) {
+			b.ReportAllocs()
+			var nodes int
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				txns, table := batch.Materialize()
+				b.StartTimer()
+				builder := tpg.NewBuilder(table.Keys).SetFusion(fusion)
+				builder.AddTxns(txns, 2)
+				graph := builder.Finalize(2)
+				exec.Run(graph, exec.Config{Decision: d, Threads: 4, Table: table})
+				nodes = len(graph.Ops)
+			}
+			b.ReportMetric(float64(nodes), "tpg-nodes")
+			b.ReportMetric(float64(len(batch.Specs)*b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}

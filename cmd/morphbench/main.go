@@ -28,8 +28,21 @@ func main() {
 		list      = flag.Bool("list", false, "list available experiments")
 		quick     = flag.Bool("quick", false, "CI smoke: one tiny fig11 slice, non-zero exit on failure")
 		pipelined = flag.Bool("pipelined", false, "compare the pipelined Start/Ingest/Drain lifecycle against the synchronous facade and report plan/execute overlap")
+		zipf      = flag.Bool("zipf", false, "sweep Zipf skew on the hot-key workload with plan-time operation fusion off and on; reports planned TPG size, throughput and per-event latency percentiles")
 	)
 	flag.Parse()
+
+	if *zipf {
+		start := time.Now()
+		report := harness.ZipfHotKey(harness.Scale(*scale), *threads)
+		if report == nil || len(report.Rows) < 6 {
+			fmt.Fprintln(os.Stderr, "zipf sweep produced no rows")
+			os.Exit(1)
+		}
+		fmt.Println(report.String())
+		fmt.Printf("(zipf sweep completed in %v)\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	if *pipelined {
 		start := time.Now()

@@ -73,6 +73,11 @@ type Config struct {
 	// Cleanup truncates the multi-version table and discards the TPG after
 	// every punctuation (Section 8.3.3); disable to reproduce Fig. 16b.
 	Cleanup bool
+	// Fusion enables plan-time same-key operation fusion: runs of fusible
+	// operations on one key collapse into single fused TPG vertices, so
+	// hot-key (Zipf-skewed) batches plan far smaller graphs. Observable
+	// semantics are unchanged. See morphstream.WithFusion.
+	Fusion bool
 
 	// PunctuateEvery seals a pipelined batch after this many ingested
 	// events; <= 0 uses DefaultPunctuateEvery. The synchronous facade
@@ -221,7 +226,7 @@ func (p *builderPool) take(id int, e *Engine) *tpg.Builder {
 		p.free[id] = l[:len(l)-1]
 		return b
 	}
-	return tpg.NewBuilderIDs(e.universeSnapshot)
+	return tpg.NewBuilderIDs(e.universeSnapshot).SetFusion(e.cfg.Fusion)
 }
 
 // put returns a builder after batch batchNo and evicts stale groups.
@@ -305,6 +310,11 @@ type Option func(*Config)
 // the automatic choice (next power of two >= Threads).
 func WithShards(n int) Option {
 	return func(c *Config) { c.Shards = n }
+}
+
+// WithFusion toggles plan-time same-key operation fusion (Config.Fusion).
+func WithFusion(on bool) Option {
+	return func(c *Config) { c.Fusion = on }
 }
 
 // WithPunctuationCount seals a pipelined batch after n ingested events
@@ -649,6 +659,8 @@ func mergeProps(a, b tpg.Props) tpg.Props {
 	a.NumPD += b.NumPD
 	a.NumND += b.NumND
 	a.NumWindow += b.NumWindow
+	a.FusedOps += b.FusedOps
+	a.FusedAway += b.FusedAway
 	if b.DegreeSkew > a.DegreeSkew {
 		a.DegreeSkew = b.DegreeSkew
 	}

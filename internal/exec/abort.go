@@ -14,10 +14,15 @@ type abortScratch struct {
 	abortTxns map[*txn.Transaction]bool
 	visited   map[*txn.Transaction]bool
 	resetTxns map[*txn.Transaction]bool
-	worklist  []*txn.Transaction
-	abtOps    []*txn.Operation
-	parents   []*txn.Operation
-	children  []*txn.Operation
+	// fused maps each fused vertex whose fan intersects the affected
+	// transactions to the index of its earliest affected constituent: the
+	// vertex redoes from that suffix after rollback, leaving the surviving
+	// prefix's versions and results in place.
+	fused    map[*txn.Operation]int
+	worklist []*txn.Transaction
+	abtOps   []*txn.Operation
+	parents  []*txn.Operation
+	children []*txn.Operation
 }
 
 func (sc *abortScratch) reset() {
@@ -25,11 +30,13 @@ func (sc *abortScratch) reset() {
 		sc.abortTxns = make(map[*txn.Transaction]bool)
 		sc.visited = make(map[*txn.Transaction]bool)
 		sc.resetTxns = make(map[*txn.Transaction]bool)
+		sc.fused = make(map[*txn.Operation]int)
 		return
 	}
 	clear(sc.abortTxns)
 	clear(sc.visited)
 	clear(sc.resetTxns)
+	clear(sc.fused)
 }
 
 // handleAborts finalises the abort of every transaction in failed, rolls
@@ -58,25 +65,50 @@ func (ex *executor) handleAborts(failed []*txn.Operation) {
 	// Structural closure over TD/PD edges. Traversal continues through
 	// already-aborted transactions (their operations wrote nothing, but
 	// their dependents may have read state that is about to roll back).
+	//
+	// Constituents of a fused vertex carry no edges of their own: the
+	// vertex holds the run's dependencies, so the traversal substitutes it
+	// for each constituent. Touching a constituent's transaction also pulls
+	// in the vertex's fan SUFFIX from that constituent on — later
+	// constituents chained off a value that is about to roll back, and the
+	// suffix redo re-runs every non-aborted one of them, so their
+	// transactions must reset (blotters included) to keep the redo
+	// idempotent. Constituents before the earliest affected index keep
+	// their versions and results; bounding the blast radius this way (plus
+	// the planner's MaxFuseRun cap) is what keeps fusion profitable under
+	// abort-heavy hot-key workloads.
 	worklist := sc.worklist[:0]
 	for t := range abortTxns {
 		visited[t] = true
 		worklist = append(worklist, t)
 	}
+	enqueue := func(ct *txn.Transaction) {
+		if visited[ct] {
+			return
+		}
+		visited[ct] = true
+		worklist = append(worklist, ct)
+		if !ct.Aborted() {
+			resetTxns[ct] = true
+		}
+	}
 	for len(worklist) > 0 {
 		t := worklist[len(worklist)-1]
 		worklist = worklist[:len(worklist)-1]
 		for _, op := range t.Ops {
-			for _, c := range op.Children() {
-				ct := c.Txn
-				if visited[ct] {
-					continue
+			eff := op
+			if f := op.FusedInto; f != nil {
+				eff = f
+				k := int(op.FuseIdx)
+				if from, seen := sc.fused[f]; !seen || k < from {
+					sc.fused[f] = k
+					for _, c := range f.Fan[k+1:] {
+						enqueue(c.Txn)
+					}
 				}
-				visited[ct] = true
-				worklist = append(worklist, ct)
-				if !ct.Aborted() {
-					resetTxns[ct] = true
-				}
+			}
+			for _, c := range eff.Children() {
+				enqueue(c.Txn)
 			}
 		}
 	}
@@ -117,10 +149,12 @@ func (ex *executor) handleAborts(failed []*txn.Operation) {
 	sc.abtOps = abtOps[:0]
 
 	// Roll back and settle the aborted transactions (T4): remove every
-	// version they installed and pin their operations at ABT. The removals
-	// go through the run's table view under the fence; the arena-backed
-	// table keeps the storm inside the aborting keys' shard memory.
+	// version they installed, discard any results their earlier operations
+	// blotted, and pin their operations at ABT. The removals go through the
+	// run's table view under the fence; the arena-backed table keeps the
+	// storm inside the aborting keys' shard memory.
 	for t := range abortTxns {
+		t.Blotter.Reset()
 		for _, op := range t.Ops {
 			if id, ok := op.WrittenID(); ok {
 				ex.tv.RemoveID(id, t.TS)
@@ -144,6 +178,24 @@ func (ex *executor) handleAborts(failed []*txn.Operation) {
 			}
 			op.SetState(txn.BLK)
 		}
+	}
+
+	// Fused vertices touching the affected transactions redo their suffix:
+	// the affected constituents' versions were removed by the loops above
+	// (each constituent owns its written record), and every fan transaction
+	// from the resume index on is in the abort or reset set, so re-running
+	// the vertex re-installs exactly the surviving constituents' versions
+	// and results. A vertex already pending redo from an earlier round
+	// keeps the smaller resume index — its suffix transactions are still
+	// reset from that round.
+	for f, from := range sc.fused {
+		if f.State() == txn.EXE {
+			ex.redos.Add(1)
+			f.FuseFrom = int32(from)
+		} else if int32(from) < f.FuseFrom {
+			f.FuseFrom = int32(from)
+		}
+		f.SetState(txn.BLK)
 	}
 
 	ex.rebuild()

@@ -117,12 +117,9 @@ func (ex *executor) runUnitOps(u *sched.Unit, sc *scratch) {
 		if ex.timed {
 			sw = metrics.Start()
 		}
-		ok := ex.runOp(op, sc)
+		ex.runOp(op, sc) // failures are recorded; BFS drains them at barriers
 		if ex.timed {
 			sw.StopLocal(&sc.bd, metrics.Useful)
-		}
-		if !ok {
-			ex.recordFailure(op)
 		}
 	}
 }
@@ -171,11 +168,8 @@ func (ex *executor) epochRun(op *txn.Operation, myEpoch int64, wid int) runStatu
 		sw.StopLocal(&sc.bd, metrics.Useful)
 	}
 	ex.exitExec(wid)
-	if !ok {
-		ex.recordFailure(op)
-		if ex.cfg.Decision.Abort == sched.EAbort {
-			ex.eagerAbort()
-		}
+	if !ok && ex.cfg.Decision.Abort == sched.EAbort {
+		ex.eagerAbort()
 	}
 	return runDone
 }

@@ -190,7 +190,7 @@ func TestShardEquivalenceAcrossShardCounts(t *testing.T) {
 			for _, shards := range []int{1, 2, workers, 4 * workers} {
 				name := fmt.Sprintf("seed=%d/%v/shards=%d", w.seed, d, shards)
 				txns, table := w.generate()
-				g := buildGraphFromTable(txns, table)
+				g := buildGraphFromTable(txns, table, false)
 				Run(g, Config{Decision: d, Threads: workers, Shards: shards, Table: table})
 				if got := table.Snapshot(); !reflect.DeepEqual(got, wantState) {
 					t.Errorf("%s: final state diverges from serial oracle", name)
@@ -230,7 +230,7 @@ func TestCrossShardEdgeFailureInjection(t *testing.T) {
 		d := d
 		t.Run(fmt.Sprintf("%v", d), func(t *testing.T) {
 			txns, amounts, armed, table := injectedWorkload(t, keys, numTxns, 321)
-			g := buildGraphFromTable(txns, table)
+			g := buildGraphFromTable(txns, table, false)
 
 			// Arm only transactions whose two target keys straddle a shard
 			// boundary, using the very map the executor will build.
@@ -341,7 +341,7 @@ func TestNarrowStratumParksInsteadOfSpinning(t *testing.T) {
 		workers  = 8
 	)
 	txns, table := chainWorkload(ops, udfDelay)
-	g := buildGraphFromTable(txns, table)
+	g := buildGraphFromTable(txns, table, false)
 
 	cpuBefore := cpuTime(t)
 	start := time.Now()
@@ -376,7 +376,7 @@ func TestNarrowStratumParksInsteadOfSpinning(t *testing.T) {
 func TestShardRingsSeeOnlyHomeUnits(t *testing.T) {
 	w := resultWorkload{keys: 32, txns: 300, seed: 5, abortEvery: 6}
 	txns, table := w.generate()
-	g := buildGraphFromTable(txns, table)
+	g := buildGraphFromTable(txns, table, false)
 	res := Run(g, Config{
 		Decision: sched.Decision{Explore: sched.NSExplore, Gran: sched.CSchedule, Abort: sched.LAbort},
 		Threads:  4,

@@ -329,6 +329,25 @@ func (l *LatencyRecorder) Percentile(p float64) time.Duration {
 	return s[idx]
 }
 
+// Percentiles returns the latencies at each requested percentile
+// (0 <= p <= 100), sorting the samples once — the bulk-read counterpart of
+// Percentile for reports that need several quantiles of a large recording.
+func (l *LatencyRecorder) Percentiles(ps ...float64) []time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]time.Duration, len(ps))
+	if len(l.samples) == 0 {
+		return out
+	}
+	s := make([]time.Duration, len(l.samples))
+	copy(s, l.samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	for i, p := range ps {
+		out[i] = s[int(p/100*float64(len(s)-1))]
+	}
+	return out
+}
+
 // CDF returns (latency, cumulative percent) pairs at the given percentiles,
 // the series plotted in Fig. 12b and 13b.
 func (l *LatencyRecorder) CDF(percentiles []float64) [][2]float64 {

@@ -57,6 +57,13 @@ type entry struct {
 
 type keyList struct {
 	entries []entry
+	// fusibles counts the fusible real entries appended this batch — the
+	// stream-phase pending-run tracker. The fuse pass only scans lists
+	// where at least two fusible operations could form a run.
+	fusibles int32
+	// sorted marks a list the fuse pass has already ordered, so
+	// deriveShard can skip the re-sort.
+	sorted bool
 }
 
 // ListShards is the number of per-key-list shards the builder maintains —
@@ -81,6 +88,11 @@ type listShard struct {
 // Finalize runs the transaction processing phase.
 type Builder struct {
 	shards [ListShards]listShard
+
+	// fusion enables plan-time same-key operation fusion (SetFusion). It
+	// must be set before transactions are added: AddTxn maintains the
+	// per-list fusible counters the fuse pass keys off.
+	fusion bool
 
 	mu      sync.Mutex
 	txns    []*txn.Transaction
@@ -128,6 +140,16 @@ func (b *Builder) shardOf(id store.KeyID) *listShard {
 	return &b.shards[uint32(id)%ListShards]
 }
 
+// SetFusion toggles plan-time same-key operation fusion for every batch the
+// builder plans. Call it before adding transactions; it returns the builder
+// for chaining. With fusion on, Finalize collapses runs of fusible same-key
+// operations into single fused vertices (see txn.Operation.Fusible), so a
+// hot-key batch plans a TPG orders of magnitude smaller.
+func (b *Builder) SetFusion(on bool) *Builder {
+	b.fusion = on
+	return b
+}
+
 // clearCap zeroes a slice's full capacity region and truncates it to zero
 // length, dropping the pointers a plain [:0] would retain.
 func clearCap[T any](s []T) []T {
@@ -153,6 +175,8 @@ func (b *Builder) Reset() {
 				delete(s.m, id)
 			} else {
 				l.entries = clearCap(l.entries)
+				l.fusibles = 0
+				l.sorted = false
 			}
 		}
 		// The scratch buffers hold operation pointers of the previous
@@ -181,6 +205,9 @@ func (b *Builder) appendEntry(id store.KeyID, e entry) {
 		s.m[id] = l
 	}
 	l.entries = append(l.entries, e)
+	if e.kind == real && b.fusion && e.op.Fusible() {
+		l.fusibles++
+	}
 	s.mu.Unlock()
 }
 
@@ -192,6 +219,7 @@ func (b *Builder) AddTxn(t *txn.Transaction) {
 	var nds []*txn.Operation
 	for _, op := range t.Ops {
 		op.SetState(txn.BLK)
+		op.FusedInto = nil // re-planning the same transactions starts clean
 		if len(op.SrcIDs) > 1 {
 			multi++
 		}
@@ -284,6 +312,11 @@ type Props struct {
 	// NumND / NumWindow count special operations.
 	NumND     int
 	NumWindow int
+	// FusedOps counts the fused vertices planned this batch; FusedAway
+	// counts the constituent operations they replaced, so the graph holds
+	// NumOps - FusedAway + FusedOps vertices.
+	FusedOps  int
+	FusedAway int
 	// DegreeSkew is max key-list length over mean length: 1 for perfectly
 	// uniform access, large for hot keys (θ in the paper).
 	DegreeSkew float64
@@ -340,10 +373,22 @@ func (b *Builder) Finalize(workers int) *Graph {
 		}
 	}
 
+	// Fuse pass: with fusion on, collapse runs of fusible same-key
+	// operations into fused vertices before the graph is assembled. Runs
+	// after the ND fan-out so ndvo entries (which chain bidirectionally)
+	// are visible as run breakers.
+	var fusedOps []*txn.Operation
+	var fusedAway int
+	if b.fusion {
+		fusedOps, fusedAway = b.fuseShards(workers)
+	}
+
 	g := &Graph{Txns: b.txns}
 	g.Props.NumTxns = len(b.txns)
 	g.Props.NumOps = b.numOps
 	g.Props.NumLD = b.numLD
+	g.Props.FusedOps = len(fusedOps)
+	g.Props.FusedAway = fusedAway
 	if b.numOps > 0 {
 		g.Props.MultiAccessRatio = float64(b.multi) / float64(b.numOps)
 	}
@@ -355,8 +400,6 @@ func (b *Builder) Finalize(workers int) *Graph {
 	b.poolOps = nil
 	for _, t := range b.txns {
 		for _, op := range t.Ops {
-			op.Index = int32(len(g.Ops))
-			g.Ops = append(g.Ops, op)
 			if op.KeyID != store.NoKeyID && op.KeyID >= g.KeySpan {
 				g.KeySpan = op.KeyID + 1
 			}
@@ -371,6 +414,23 @@ func (b *Builder) Finalize(workers int) *Graph {
 			case txn.OpWindowRead, txn.OpWindowWrite:
 				g.Props.NumWindow++
 			}
+			if op.FusedInto != nil {
+				// Constituent of a fused vertex: excluded from the graph;
+				// Index -1 fails fast if anything indexes it.
+				op.Index = -1
+				continue
+			}
+			op.Index = int32(len(g.Ops))
+			g.Ops = append(g.Ops, op)
+		}
+	}
+	if len(fusedOps) > 0 {
+		// Deterministic graph layout: fused vertices in (ts, id) order
+		// regardless of shard iteration order.
+		slices.SortFunc(fusedOps, txn.CompareOps)
+		for _, op := range fusedOps {
+			op.Index = int32(len(g.Ops))
+			g.Ops = append(g.Ops, op)
 		}
 	}
 	if ndSpan > g.KeySpan {
@@ -445,6 +505,140 @@ type shardStats struct {
 	td, pd           int
 	maxList, totList int
 	nLists           int
+}
+
+// fuseRun records one detected run: the entry index of its first member and
+// the fused vertex replacing it during compaction.
+type fuseRun struct {
+	first int
+	op    *txn.Operation
+}
+
+// MaxFuseRun caps the fan of one fused vertex. Aborts redo a fused vertex
+// wholesale — every fan transaction resets — so an unbounded fan would turn
+// one forced violation on a hot key into a batch-wide redo storm. Chunking
+// runs at this size bounds the blast radius while keeping the planner-side
+// reduction within a few percent of unbounded fusion.
+const MaxFuseRun = 32
+
+// fuseShards runs the fuse pass over every list shard in parallel and
+// returns the fused vertices plus the number of constituents they absorbed.
+func (b *Builder) fuseShards(workers int) ([]*txn.Operation, int) {
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	results := make([][]*txn.Operation, ListShards)
+	sem := make(chan struct{}, workers)
+	for i := range b.shards {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			results[i] = fuseShard(&b.shards[i])
+			<-sem
+		}(i)
+	}
+	wg.Wait()
+	var fused []*txn.Operation
+	away := 0
+	for _, r := range results {
+		for _, op := range r {
+			away += len(op.Fan)
+		}
+		fused = append(fused, r...)
+	}
+	return fused, away
+}
+
+// fuseShard scans each candidate key list of one shard for runs of fusible
+// operations in strictly increasing timestamp order and compacts each run
+// into a single fused vertex placed at its first member's slot.
+//
+// Run breakers: ndvo entries (they chain bidirectionally, so fusing across
+// one could cycle), non-fusible writes (window or cross-key parametric — the
+// value chain must flow through them), and equal timestamps (a same-ts write
+// reads strictly below its own timestamp and replaces its sibling's version,
+// so chaining would feed it the wrong input). Plain reads and vo source
+// placeholders do NOT break runs: execution installs every constituent's
+// version, and those accesses are timestamp-addressed.
+func fuseShard(s *listShard) []*txn.Operation {
+	var out []*txn.Operation
+	var members []int
+	var runs []fuseRun
+	var fan []*txn.Operation
+	for _, l := range s.m {
+		if l.fusibles < 2 || len(l.entries) == 0 {
+			continue
+		}
+		entries := l.entries
+		slices.SortStableFunc(entries, entryBefore)
+		l.sorted = true
+		runs = runs[:0]
+		members = members[:0]
+		var lastTS uint64
+		closeRun := func() {
+			if len(members) >= 2 {
+				fan = fan[:0]
+				for _, i := range members {
+					fan = append(fan, entries[i].op)
+				}
+				runs = append(runs, fuseRun{first: members[0], op: txn.NewFused(fan)})
+			}
+			members = members[:0]
+		}
+		for i := range entries {
+			e := &entries[i]
+			switch e.kind {
+			case ndvo:
+				closeRun()
+			case vo:
+				// timestamp-addressed source placeholder; not a breaker
+			case real:
+				switch {
+				case e.op.Fusible():
+					if len(members) > 0 && e.op.TS() <= lastTS {
+						closeRun()
+					}
+					if len(members) == MaxFuseRun {
+						closeRun()
+					}
+					members = append(members, i)
+					lastTS = e.op.TS()
+				case e.op.IsWrite():
+					closeRun()
+				default:
+					// plain read; timestamp-addressed, not a breaker
+				}
+			}
+		}
+		closeRun()
+		if len(runs) == 0 {
+			continue
+		}
+		kept := entries[:0]
+		ri := 0
+		for i, e := range entries {
+			if ri < len(runs) && i == runs[ri].first {
+				kept = append(kept, entry{op: runs[ri].op, kind: real})
+				ri++
+				continue
+			}
+			if e.kind == real && e.op.FusedInto != nil {
+				continue // non-leading constituent: absorbed by its vertex
+			}
+			kept = append(kept, e)
+		}
+		// Zero the truncated tail so dropped entries release their ops.
+		for i := len(kept); i < len(entries); i++ {
+			entries[i] = entry{}
+		}
+		l.entries = kept
+		for _, r := range runs {
+			out = append(out, r.op)
+		}
+	}
+	return out
 }
 
 // edgePair is one "child depends on parent" dependency.
@@ -555,10 +749,15 @@ func searchWrites(writes []writeAt, t uint64) int {
 	return i
 }
 
-// writeAt is one real write in a key list, for PD derivation.
+// writeAt is one real write in a key list, for PD derivation. A fused
+// vertex contributes one writeAt per constituent, each carrying the
+// constituent's timestamp and owning transaction (owner drives the window
+// same-transaction exclusion) while op points at the vertex that is
+// actually in the graph.
 type writeAt struct {
-	ts uint64
-	op *txn.Operation
+	ts    uint64
+	op    *txn.Operation
+	owner *txn.Transaction
 }
 
 // deriveShard sorts every list of one shard and derives its TD/PD edges
@@ -575,7 +774,9 @@ func (b *Builder) deriveShard(s *listShard) shardStats {
 		if len(entries) == 0 {
 			continue
 		}
-		slices.SortStableFunc(entries, entryBefore)
+		if !l.sorted {
+			slices.SortStableFunc(entries, entryBefore)
+		}
 		st.nLists++
 		st.totList += len(entries)
 		if len(entries) > st.maxList {
@@ -596,7 +797,13 @@ func (b *Builder) deriveShard(s *listShard) shardStats {
 				}
 				lastChain = e.op
 				if e.op.IsWrite() && e.kind == real {
-					writes = append(writes, writeAt{e.op.TS(), e.op})
+					if fan := e.op.Fan; fan != nil {
+						for _, c := range fan {
+							writes = append(writes, writeAt{c.TS(), e.op, c.Txn})
+						}
+					} else {
+						writes = append(writes, writeAt{e.op.TS(), e.op, e.op.Txn})
+					}
 				}
 			case vo:
 				if e.window > 0 {
@@ -608,7 +815,7 @@ func (b *Builder) deriveShard(s *listShard) shardStats {
 						lo = e.op.TS() - e.window
 					}
 					for i := searchWrites(writes, lo); i < len(writes) && writes[i].ts < e.op.TS(); i++ {
-						if writes[i].op.Txn != e.op.Txn {
+						if writes[i].owner != e.op.Txn {
 							s.edges = append(s.edges, edgePair{p: writes[i].op, c: e.op})
 							st.pd++
 						}

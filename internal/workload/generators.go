@@ -11,6 +11,14 @@ type Config struct {
 	StateSize int
 	// Theta is the Zipf skew of state access distribution (θ).
 	Theta float64
+	// HotSetFraction restricts the Zipf distribution to a rotating hot
+	// window of ceil(HotSetFraction*StateSize) keys, concentrating skew on
+	// a small working set; 0 (or >= 1) spans the whole state.
+	HotSetFraction float64
+	// ChurnRatio is the per-draw probability that the hot window advances
+	// by one key (wrapping around the state), modelling hot-set drift.
+	// Generation stays fully deterministic under Seed.
+	ChurnRatio float64
 	// AbortRatio is the ratio of transactions carrying a forced
 	// consistency violation (a).
 	AbortRatio float64
@@ -83,7 +91,7 @@ func initialState(c Config) map[Key]int64 {
 func SL(c Config) *Batch {
 	c = c.fill()
 	rng := rand.New(rand.NewSource(c.Seed))
-	z := NewZipf(rng, c.StateSize, c.Theta)
+	z := newSampler(rng, c)
 	b := &Batch{State: initialState(c)}
 	ts := c.FirstTS
 	for i := 0; i < c.Txns; i++ {
@@ -132,9 +140,15 @@ func SL(c Config) *Batch {
 }
 
 // distinctPicker draws Zipf-distributed keys without repetition within one
-// transaction (falling back to a linear probe when the hot key repeats).
-func distinctPicker(z *Zipf, n int) func() Key {
+// transaction: past a bounded retry budget it falls back to a sequential
+// fill, and once the key space is exhausted it reuses keys round-robin
+// instead of panicking — a later write at the same timestamp replaces the
+// earlier version, which every execution path (and the serial oracle)
+// handles identically, so generation stays deterministic and total even
+// when the transaction length exceeds the state size.
+func distinctPicker(z *sampler, n int) func() Key {
 	used := map[int]bool{}
+	seq, wrap := 0, 0
 	return func() Key {
 		for tries := 0; tries < 64; tries++ {
 			i := z.Next()
@@ -143,14 +157,63 @@ func distinctPicker(z *Zipf, n int) func() Key {
 				return KeyName(i)
 			}
 		}
-		for i := 0; i < n; i++ {
-			if !used[i] {
-				used[i] = true
-				return KeyName(i)
+		for ; seq < n; seq++ {
+			if !used[seq] {
+				used[seq] = true
+				return KeyName(seq)
 			}
 		}
-		panic("workload: transaction length exceeds state size")
+		k := KeyName(wrap % n)
+		wrap++
+		return k
 	}
+}
+
+// HK generates the hot-key skew workload of the fusion experiments: receipt
+// deposits (fusible self-sourced writes that blot their post balance,
+// exercising fused result fan-out), interleaved with transfer pairs whose
+// cross-key parametric dependency interrupts fused runs. MultiRatio is the
+// transfer-transaction ratio (0 = pure deposits); skew comes from Theta plus
+// the HotSetFraction/ChurnRatio knobs; AbortRatio forces violations as
+// usual.
+func HK(c Config) *Batch {
+	c = c.fill()
+	rng := rand.New(rand.NewSource(c.Seed))
+	z := newSampler(rng, c)
+	b := &Batch{State: initialState(c)}
+	ts := c.FirstTS
+	for i := 0; i < c.Txns; i++ {
+		spec := TxnSpec{ID: int64(i + 1), TS: ts}
+		forced := rng.Float64() < c.AbortRatio
+		pick := distinctPicker(z, c.StateSize)
+		if c.MultiRatio > 0 && rng.Float64() < c.MultiRatio {
+			s := pick()
+			r := pick()
+			amount := int64(1 + rng.Intn(50))
+			spec.Ops = append(spec.Ops,
+				OpSpec{
+					Fn: FnTransferDebit, Key: s, Srcs: []Key{s},
+					Amount: amount, Forced: forced, DelayUS: c.ComplexityUS,
+				},
+				OpSpec{
+					Fn: FnTransferCredit, Key: r, Srcs: []Key{s, r},
+					Amount: amount, DelayUS: c.ComplexityUS,
+				})
+		} else {
+			for j := 0; j < c.Length; j++ {
+				k := pick()
+				spec.Ops = append(spec.Ops, OpSpec{
+					Fn: FnDepositReceipt, Key: k, Srcs: []Key{k},
+					Amount:  int64(1 + rng.Intn(100)),
+					Forced:  forced && j == 0,
+					DelayUS: c.ComplexityUS,
+				})
+			}
+		}
+		b.Specs = append(b.Specs, spec)
+		ts++
+	}
+	return b
 }
 
 // GS generates a GrepSum batch: every transaction greps r random states,
@@ -159,7 +222,7 @@ func distinctPicker(z *Zipf, n int) func() Key {
 func GS(c Config) *Batch {
 	c = c.fill()
 	rng := rand.New(rand.NewSource(c.Seed))
-	z := NewZipf(rng, c.StateSize, c.Theta)
+	z := newSampler(rng, c)
 	b := &Batch{State: initialState(c)}
 	ts := c.FirstTS
 	for i := 0; i < c.Txns; i++ {
@@ -212,7 +275,7 @@ func GSWindow(c GSWindowConfig) *Batch {
 		c.WindowSize = 1000
 	}
 	rng := rand.New(rand.NewSource(cc.Seed))
-	z := NewZipf(rng, cc.StateSize, cc.Theta)
+	z := newSampler(rng, cc)
 	b := &Batch{State: initialState(cc)}
 	ts := cc.FirstTS
 	for i := 0; i < cc.Txns; i++ {
@@ -255,7 +318,7 @@ type GSNDConfig struct {
 func GSND(c GSNDConfig) *Batch {
 	cc := c.Config.fill()
 	rng := rand.New(rand.NewSource(cc.Seed))
-	z := NewZipf(rng, cc.StateSize, cc.Theta)
+	z := newSampler(rng, cc)
 	b := &Batch{State: initialState(cc)}
 	ts := cc.FirstTS
 	every := 0

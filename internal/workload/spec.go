@@ -47,6 +47,10 @@ const (
 	// FnTollCalc: derive a vehicle's toll from a segment statistic
 	// (sources: segment; dst: vehicle account).
 	FnTollCalc
+	// FnDepositReceipt: dst += Amount, depositing the post-balance into the
+	// blotter. Its per-event result makes it the probe for fused-operation
+	// result fan-out (it is fusible: a plain self-sourced write).
+	FnDepositReceipt
 )
 
 // OpSpec describes one atomic state access.
@@ -144,7 +148,7 @@ func Eval(op OpSpec, src []int64) (result int64, ok bool) {
 		return 0, false
 	}
 	switch op.Fn {
-	case FnDeposit:
+	case FnDeposit, FnDepositReceipt:
 		return src[0] + op.Amount, true
 	case FnTransferDebit:
 		if src[0] < op.Amount {
@@ -254,7 +258,7 @@ func (s TxnSpec) Issue(bld *txn.Builder) {
 }
 
 func writeFn(op OpSpec) txn.WriteFn {
-	return func(_ *txn.Ctx, src []txn.Value) (txn.Value, error) {
+	return func(ctx *txn.Ctx, src []txn.Value) (txn.Value, error) {
 		vals := make([]int64, len(src))
 		for i, v := range src {
 			vals[i] = v.(int64)
@@ -262,6 +266,9 @@ func writeFn(op OpSpec) txn.WriteFn {
 		r, ok := Eval(op, vals)
 		if !ok {
 			return nil, txn.ErrAbort
+		}
+		if op.Fn == FnDepositReceipt {
+			ctx.AddResult(r)
 		}
 		return r, nil
 	}

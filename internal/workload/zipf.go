@@ -37,3 +37,47 @@ func (z *Zipf) Next() int {
 	u := z.rng.Float64()
 	return sort.SearchFloat64s(z.cdf, u)
 }
+
+// sampler draws key indexes honouring Config.Theta plus the hot-set and
+// churn knobs: the Zipf distribution spans a hot window of
+// ceil(HotSetFraction*StateSize) keys whose origin advances by one key with
+// probability ChurnRatio per draw. With both knobs zero it consumes exactly
+// the same rng sequence as a bare Zipf over the full state, so existing
+// seeded batches replay byte-for-byte.
+type sampler struct {
+	z        *Zipf
+	rng      *rand.Rand
+	n        int
+	hotStart int
+	churn    float64
+}
+
+func newSampler(rng *rand.Rand, c Config) *sampler {
+	n := c.StateSize
+	if n < 1 {
+		n = 1
+	}
+	hotN := n
+	if c.HotSetFraction > 0 && c.HotSetFraction < 1 {
+		hotN = int(math.Ceil(c.HotSetFraction * float64(n)))
+		if hotN < 1 {
+			hotN = 1
+		}
+	}
+	return &sampler{z: NewZipf(rng, hotN, c.Theta), rng: rng, n: n, churn: c.ChurnRatio}
+}
+
+// Next draws one key index from the (possibly rotated) hot window.
+func (s *sampler) Next() int {
+	if s.churn > 0 && s.rng.Float64() < s.churn {
+		s.hotStart++
+		if s.hotStart >= s.n {
+			s.hotStart = 0
+		}
+	}
+	i := s.z.Next() + s.hotStart
+	if i >= s.n {
+		i -= s.n
+	}
+	return i
+}

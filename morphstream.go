@@ -201,6 +201,14 @@ type (
 // frequency (fewer shards).
 func WithShards(n int) Option { return engine.WithShards(n) }
 
+// WithFusion toggles plan-time same-key operation fusion: runs of fusible
+// operations on one key (plain deterministic writes whose only source is
+// their own target) collapse into single fused TPG vertices at planning
+// time, so Zipf-skewed hot-key batches plan graphs orders of magnitude
+// smaller. Per-event results, abort fan-out and the version history are
+// preserved exactly; ND and window operations never fuse.
+func WithFusion(on bool) Option { return engine.WithFusion(on) }
+
 // WithPunctuationCount seals a pipelined batch after n ingested events.
 // Punctuation is policy under the streaming lifecycle; the synchronous
 // facade's Punctuate remains the explicit punctuation.
