@@ -22,6 +22,7 @@ import (
 	"morphstream/internal/sched"
 	"morphstream/internal/store"
 	"morphstream/internal/tpg"
+	"morphstream/internal/wal"
 	"morphstream/internal/workload"
 )
 
@@ -510,6 +511,86 @@ func BenchmarkPipelinedThroughput(b *testing.B) {
 		}
 		b.ReportMetric(float64(cfg.Txns*b.N)/b.Elapsed().Seconds(), "events/s")
 		b.ReportMetric(overlapFrac/float64(b.N), "overlap/exec")
+	})
+	// pipelined-wal repeats the pipelined run with the punctuation-delta
+	// WAL on (file sink, per-punctuation group fsync — the default
+	// policy), so the gate tracks the end-to-end durability tax alongside
+	// the paths it rides on. Each iteration gets a fresh directory: reusing
+	// one would turn iteration N+1 into a recovery run.
+	b.Run("pipelined-wal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := b.TempDir()
+			b.StartTimer()
+			committed, _, _ := harness.RunPipelinedDurable(batch, batchSize, threads, dir, wal.SyncPunctuation)
+			if committed == 0 {
+				b.Fatal("no transactions committed")
+			}
+		}
+		b.ReportMetric(float64(cfg.Txns*b.N)/b.Elapsed().Seconds(), "events/s")
+	})
+}
+
+// BenchmarkWALAppend measures the per-punctuation durability hot path in
+// isolation: gob-encoding one net-delta record (1024 key deltas bucketed
+// into 4 shards — a batchSize-1024 punctuation's worth of "commit
+// information, not traffic") and appending the checksummed frame through the
+// sink. "mem" isolates encode + CRC, "file-nosync" adds the buffered file
+// write, "file-fsync" adds the per-punctuation group fsync of the default
+// policy. The CI bench gate tracks mem and file-nosync only: fsync latency
+// is a property of the runner's storage stack, far too noisy to gate. A
+// nil-delta snapshot every 1024 appends (outside the timer) rotates the
+// segment so long runs do not accumulate unbounded log state.
+func BenchmarkWALAppend(b *testing.B) {
+	const nShards, perShard = 4, 256
+	shards := make([][]store.Entry, nShards)
+	for s := range shards {
+		shards[s] = make([]store.Entry, perShard)
+		for i := range shards[s] {
+			shards[s][i] = store.Entry{
+				Key:   workload.KeyName(s*perShard + i),
+				TS:    uint64(s*perShard + i + 1),
+				Value: int64(i),
+			}
+		}
+	}
+	run := func(b *testing.B, sink wal.Sink, policy wal.SyncPolicy) {
+		l, _, err := wal.Open(sink, wal.Options{Policy: policy})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			seq := int64(i + 1)
+			if err := l.Append(wal.Record{Seq: seq, MaxTS: uint64(seq), Shards: shards}); err != nil {
+				b.Fatal(err)
+			}
+			if seq%1024 == 0 {
+				b.StopTimer()
+				if err := l.Snapshot(seq, uint64(seq), nil); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		}
+	}
+	b.Run("mem", func(b *testing.B) { run(b, wal.NewMemSink(), wal.SyncPunctuation) })
+	b.Run("file-nosync", func(b *testing.B) {
+		s, err := wal.NewFileSink(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, s, wal.SyncNone)
+	})
+	b.Run("file-fsync", func(b *testing.B) {
+		s, err := wal.NewFileSink(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, s, wal.SyncPunctuation)
 	})
 }
 

@@ -29,8 +29,27 @@ func main() {
 		quick     = flag.Bool("quick", false, "CI smoke: one tiny fig11 slice, non-zero exit on failure")
 		pipelined = flag.Bool("pipelined", false, "compare the pipelined Start/Ingest/Drain lifecycle against the synchronous facade and report plan/execute overlap")
 		zipf      = flag.Bool("zipf", false, "sweep Zipf skew on the hot-key workload with plan-time operation fusion off and on; reports planned TPG size, throughput and per-event latency percentiles")
+		walMode   = flag.Bool("wal", false, "run the pipelined lifecycle with the punctuation-delta WAL off and on (per-punctuation group fsync) and report the durability overhead")
 	)
 	flag.Parse()
+
+	if *walMode {
+		start := time.Now()
+		dir, err := os.MkdirTemp("", "morphbench-wal-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wal dir:", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+		report := harness.WALOverhead(harness.Scale(*scale), *threads, dir)
+		if report == nil || len(report.Rows) < 2 {
+			fmt.Fprintln(os.Stderr, "wal comparison produced no rows")
+			os.Exit(1)
+		}
+		fmt.Println(report.String())
+		fmt.Printf("(wal comparison completed in %v)\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	if *zipf {
 		start := time.Now()

@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"morphstream/internal/store"
+	"morphstream/internal/wal"
+)
+
+// Durability configures the punctuation-delta write-ahead log. Durability is
+// a property of the streaming lifecycle: Start opens (and recovers) the log,
+// every punctuation appends one record of the batch's net state deltas, and
+// Close closes the log. The synchronous facade (Submit/Punctuate) does not
+// log — punctuation-as-policy is what makes the quiescent barrier a commit
+// point.
+type Durability struct {
+	// Dir is the directory of the file-backed sink (segment and snapshot
+	// files). Ignored when Sink is set.
+	Dir string
+	// Sink overrides Dir with a custom WAL backend (e.g. wal.NewMemSink()).
+	Sink wal.Sink
+	// Sync is the fsync policy; the default, wal.SyncPunctuation, issues
+	// one group fsync per punctuation so a delivered batch result implies
+	// a durable batch.
+	Sync wal.SyncPolicy
+	// SyncEvery is the fsync stride under wal.SyncInterval.
+	SyncEvery int
+	// SnapshotEvery writes a shard-parallel full-table snapshot — and
+	// truncates the log behind it — every this many punctuations; 0 uses
+	// DefaultSnapshotEvery, negative disables periodic snapshots (the
+	// baseline snapshot at sequence 0 is still written).
+	SnapshotEvery int
+}
+
+// DefaultSnapshotEvery is the snapshot stride when Durability leaves
+// SnapshotEvery unset.
+const DefaultSnapshotEvery = 64
+
+// WithDurability enables the punctuation-delta WAL (Config.Durability).
+func WithDurability(d *Durability) Option {
+	return func(c *Config) { c.Durability = d }
+}
+
+// RecoveredSeq reports the highest batch sequence restored by durability
+// recovery during Start (0 when the log was fresh or durability is off).
+// After a crash, the stream owner resumes ingestion with the first event
+// after that punctuation; batch sequences continue from RecoveredSeq+1, so
+// recovered results are never re-delivered — exactly-once across the crash.
+func (e *Engine) RecoveredSeq() int64 { return e.recoveredSeq }
+
+func (e *Engine) snapshotEvery() int {
+	d := e.cfg.Durability
+	switch {
+	case d == nil || d.SnapshotEvery < 0:
+		return 0
+	case d.SnapshotEvery == 0:
+		return DefaultSnapshotEvery
+	}
+	return d.SnapshotEvery
+}
+
+// openDurability opens the WAL and replays its history into the state table.
+// Called from Start under lifeMu, before the pipeline goroutines exist, so
+// the table is quiescent. On recovery the restored state supersedes whatever
+// the application preloaded before this Start; on a fresh log a baseline
+// snapshot (sequence 0) captures those preloads instead, making every later
+// recovery self-contained.
+func (e *Engine) openDurability() error {
+	d := e.cfg.Durability
+	sink := d.Sink
+	if sink == nil {
+		if d.Dir == "" {
+			return errors.New("engine: durability needs a Dir or a Sink")
+		}
+		fs, err := wal.NewFileSink(d.Dir)
+		if err != nil {
+			return fmt.Errorf("engine: durability: %w", err)
+		}
+		sink = fs
+	}
+	l, rec, err := wal.Open(sink, wal.Options{Policy: d.Sync, SyncEvery: d.SyncEvery})
+	if err != nil {
+		return fmt.Errorf("engine: durability: %w", err)
+	}
+	if rec.HasSnapshot || rec.LastSeq > 0 {
+		if rec.HasSnapshot {
+			e.table.Restore(rec.Snapshot)
+		}
+		for _, r := range rec.Records {
+			for _, es := range r.Shards {
+				for _, en := range es {
+					e.table.WriteID(store.Intern(en.Key), en.TS, en.Value)
+				}
+			}
+		}
+		e.batches.Store(rec.LastSeq)
+		e.recoveredSeq = rec.LastSeq
+		e.walWatermark = rec.MaxTS
+		// Seed the timestamp allocator past all recovered history so new
+		// transactions never collide with replayed versions.
+		if cur := e.pc.next.Load(); rec.MaxTS > cur {
+			e.pc.next.Store(rec.MaxTS)
+		}
+	} else if err := l.Snapshot(0, 0, e.table.LatestSince(0)); err != nil {
+		sink.Close()
+		return fmt.Errorf("engine: durability baseline: %w", err)
+	}
+	e.wal = l
+	return nil
+}
+
+// commitWAL runs at the punctuation quiescent point, after the batch fully
+// committed and before its result is delivered: it sweeps the table for the
+// final version of every key written since the previous punctuation and
+// appends them as one record. Under the default sync policy the append
+// fsyncs, so a delivered result implies a durable batch. A WAL failure is
+// sticky: later batches stop logging (their results carry Durable=false)
+// and Close reports the first error.
+func (e *Engine) commitWAL(res *BatchResult, batchMaxTS uint64) {
+	maxTS := e.walWatermark
+	if batchMaxTS > maxTS {
+		maxTS = batchMaxTS
+	}
+	rec := wal.Record{
+		Seq:    res.Seq,
+		MaxTS:  maxTS,
+		Shards: e.table.LatestSince(e.walWatermark + 1),
+	}
+	if err := e.wal.Append(rec); err != nil {
+		e.walErr = fmt.Errorf("engine: wal append seq %d: %w", res.Seq, err)
+		return
+	}
+	e.walWatermark = maxTS
+	res.Durable = true
+	if every := e.snapshotEvery(); every > 0 && res.Seq%int64(every) == 0 {
+		if err := e.wal.Snapshot(res.Seq, maxTS, e.table.LatestSince(0)); err != nil {
+			e.walErr = fmt.Errorf("engine: wal snapshot seq %d: %w", res.Seq, err)
+		}
+	}
+}
+
+// closeWAL closes the log once the executor has quiesced, surfacing any
+// sticky logging error. Idempotent; callers hold lifeMu.
+func (e *Engine) closeWAL() error {
+	if e.wal == nil {
+		return nil
+	}
+	err := e.walErr
+	if cerr := e.wal.Close(); err == nil {
+		err = cerr
+	}
+	e.wal = nil
+	return err
+}

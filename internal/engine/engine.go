@@ -27,6 +27,7 @@ import (
 	"morphstream/internal/store"
 	"morphstream/internal/tpg"
 	"morphstream/internal/txn"
+	"morphstream/internal/wal"
 )
 
 // Event is one input tuple. Data carries the application payload consumed
@@ -95,6 +96,10 @@ type Config struct {
 	// stage (in punctuation order, on the pipeline's goroutine) instead of
 	// the Results channel.
 	Sink func(*BatchResult)
+	// Durability, when non-nil, enables the punctuation-delta WAL for the
+	// streaming lifecycle: Start recovers, every punctuation logs the
+	// batch's net state deltas, Close closes the log. See durability.go.
+	Durability *Durability
 }
 
 // Pipeline sizing defaults.
@@ -130,6 +135,10 @@ type BatchResult struct {
 	PlanElapsed time.Duration
 	// Elapsed is the wall-clock time of the transaction processing phase.
 	Elapsed time.Duration
+	// Durable reports that the batch's WAL record was appended (and, under
+	// the default sync policy, fsynced) before this result was delivered.
+	// Always false when durability is off.
+	Durable bool
 }
 
 // progressController assigns monotonically increasing timestamps to events
@@ -170,6 +179,10 @@ type pendingBatch struct {
 	dropped int
 	planned time.Duration
 	firstAt time.Time // arrival of the first event; drives interval policy
+	// maxTS is the highest timestamp the batch consumed (including events
+	// dropped after their timestamp was allocated) — the WAL watermark the
+	// batch advances to.
+	maxTS uint64
 }
 
 func newPendingBatch() *pendingBatch {
@@ -202,6 +215,7 @@ type plannedBatch struct {
 	events  int
 	dropped int
 	planned time.Duration
+	maxTS   uint64
 }
 
 // builderPool hands planner stages a TPG builder per scheduling group and
@@ -292,6 +306,15 @@ type Engine struct {
 	Breakdown *metrics.Breakdown
 
 	batches atomic.Int64
+
+	// Durability state (durability.go). wal and walWatermark are touched
+	// only at quiescent points (Start under lifeMu, the executor stage's
+	// punctuation hook, Close after executor shutdown); walErr is the
+	// sticky first logging failure, surfaced by Close.
+	wal          *wal.Log
+	walWatermark uint64
+	walErr       error
+	recoveredSeq int64
 
 	// Streaming lifecycle state (pipeline.go).
 	lifeMu  sync.Mutex
@@ -426,6 +449,7 @@ func (e *Engine) planEvent(pb *pendingBatch, op Operator, ev *Event) error {
 		return fmt.Errorf("engine: preprocess: %w", err)
 	}
 	ts := e.pc.nextTS()
+	pb.maxTS = ts // monotonic counter: the latest allocation is the max
 	t := txn.NewTransaction(e.txnSeq.Add(1), ts)
 	t.Blotter = eb
 	if e.cfg.GroupFn != nil {
@@ -458,6 +482,7 @@ func (e *Engine) seal(pb *pendingBatch) *plannedBatch {
 		cache:   pb.cache,
 		events:  len(pb.cache),
 		dropped: pb.dropped,
+		maxTS:   pb.maxTS,
 	}
 	for id, g := range pb.groups {
 		if g.txns == 0 {
@@ -569,6 +594,13 @@ func (e *Engine) executeBatch(pb *plannedBatch) *BatchResult {
 	// more — and the reset builders return to the pool for a later batch's
 	// planning (steady-state planning stays allocation-free).
 	res.Seq = e.batches.Add(1)
+	// Punctuation commit point: with durability on, the batch's net state
+	// deltas are logged (and fsynced, per policy) while the table still
+	// holds them and before the result can be observed — an observed
+	// result therefore implies a durable batch.
+	if e.wal != nil && e.walErr == nil {
+		e.commitWAL(res, pb.maxTS)
+	}
 	for _, pj := range pb.jobs {
 		pj.builder.Recycle(pj.graph)
 		pj.builder.Reset()

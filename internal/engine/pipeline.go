@@ -48,6 +48,12 @@ type pipeline struct {
 	// clean records that the planner exited through the stop marker (all
 	// ingested events flushed) rather than via cancellation.
 	clean atomic.Bool
+	// discarded records that cancellation made the pipeline drop work a
+	// clean flush would have delivered — a sealed batch the executor
+	// skipped, or a result nobody could receive. A stop marker racing the
+	// cancellation can still win the planner (clean=true), so Close must
+	// not report a clean flush when the executor provably dropped batches.
+	discarded atomic.Bool
 
 	execDone chan struct{}
 }
@@ -74,6 +80,14 @@ func (e *Engine) Start(ctx context.Context) error {
 	}
 	if e.pipe.Load() != nil {
 		return ErrStarted
+	}
+	// Open the WAL and replay its history before any stage goroutine
+	// exists — recovery needs the quiescent table, and a failed recovery
+	// must fail Start without side effects on the lifecycle.
+	if e.cfg.Durability != nil && e.wal == nil {
+		if err := e.openDurability(); err != nil {
+			return err
+		}
 	}
 	// Quiescent by definition: no pipeline, no batch executing.
 	e.refreshUniverse()
@@ -105,7 +119,7 @@ func (e *Engine) Start(ctx context.Context) error {
 func (e *Engine) Ingest(op Operator, ev *Event) error {
 	p := e.pipe.Load()
 	if p == nil {
-		return ErrNotStarted
+		return e.neverStartedErr()
 	}
 	if p.ingestClosed.Load() || p.ctx.Err() != nil {
 		return ErrClosed
@@ -125,11 +139,17 @@ func (e *Engine) Ingest(op Operator, ev *Event) error {
 func (e *Engine) Drain() error {
 	p := e.pipe.Load()
 	if p == nil {
-		return ErrNotStarted
+		return e.neverStartedErr()
 	}
 	ch := make(chan struct{})
 	if err := p.ring.push(ingestItem{flush: ch}); err != nil {
-		return p.closeErr()
+		// The ring only rejects once teardown began. After a *clean* Close
+		// closeErr is nil by design (Close itself succeeded), but a Drain
+		// arriving afterwards must still report the closed lifecycle.
+		if cerr := p.closeErr(); cerr != nil {
+			return cerr
+		}
+		return ErrClosed
 	}
 	select {
 	case <-ch:
@@ -142,8 +162,23 @@ func (e *Engine) Drain() error {
 		return nil
 	case <-p.execDone:
 		// The pipeline went down before the barrier resolved.
-		return p.closeErr()
+		if cerr := p.closeErr(); cerr != nil {
+			return cerr
+		}
+		return ErrClosed
 	}
+}
+
+// neverStartedErr distinguishes "not yet started" from "closed without ever
+// starting": after Close the lifecycle is latched shut and every entry point
+// reports ErrClosed, started or not.
+func (e *Engine) neverStartedErr() error {
+	e.lifeMu.Lock()
+	defer e.lifeMu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	return ErrNotStarted
 }
 
 // Close flushes the pipeline (every event ingested before Close executes
@@ -168,8 +203,9 @@ func (e *Engine) Close() error {
 			e.closed = true
 			close(e.results)
 		}
+		err := e.closeWAL()
 		e.lifeMu.Unlock()
-		return nil
+		return err
 	}
 	e.closed = true
 	e.lifeMu.Unlock()
@@ -183,7 +219,16 @@ func (e *Engine) Close() error {
 	})
 	<-p.execDone
 	e.running.Store(false)
-	return p.closeErr()
+	err := p.closeErr()
+	// The executor has quiesced: flush and close the WAL, surfacing any
+	// sticky logging failure. Idempotent — a second Close finds wal nil.
+	e.lifeMu.Lock()
+	werr := e.closeWAL()
+	e.lifeMu.Unlock()
+	if err == nil {
+		err = werr
+	}
+	return err
 }
 
 // Results delivers batch results in punctuation order while the pipeline
@@ -194,9 +239,11 @@ func (e *Engine) Close() error {
 // execution, Ingest, Drain and Close alike.
 func (e *Engine) Results() <-chan *BatchResult { return e.results }
 
-// closeErr maps the teardown cause to a public error.
+// closeErr maps the teardown cause to a public error. A teardown is clean —
+// nil — only when the stop marker flushed every ingested event AND the
+// executor discarded nothing on the way down.
 func (p *pipeline) closeErr() error {
-	if p.clean.Load() {
+	if p.clean.Load() && !p.discarded.Load() {
 		return nil
 	}
 	if err := p.ctx.Err(); err != nil {
@@ -367,6 +414,7 @@ func (p *pipeline) executorLoop() {
 			if p.ctx.Err() != nil {
 				// Cancelled: abort cleanly mid-batch. The sealed batch
 				// never ran, so no table state needs undoing.
+				p.discarded.Store(true)
 				if msg.flush != nil {
 					close(msg.flush)
 				}
@@ -396,6 +444,7 @@ func (p *pipeline) deliver(r *BatchResult) {
 		select {
 		case p.e.results <- r:
 		default: // cancelled and nobody listening: drop
+			p.discarded.Store(true)
 		}
 	}
 }

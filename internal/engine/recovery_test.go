@@ -1,0 +1,409 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"morphstream/internal/sched"
+	"morphstream/internal/txn"
+	"morphstream/internal/wal"
+	"morphstream/internal/workload"
+)
+
+// appendTornFrame simulates a crash mid-append: the newest segment gains a
+// frame header claiming a 64-byte payload of which only 3 bytes ever landed.
+func appendTornFrame(t *testing.T, dir string) {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments in %s (err %v)", dir, err)
+	}
+	sort.Strings(segs)
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// durablePhase is one engine lifetime against a shared WAL directory.
+type durablePhase struct {
+	e       *Engine
+	rec     *runRecord
+	seqs    []int64
+	c, a    int
+	durable bool
+}
+
+func startDurablePhase(t *testing.T, b *workload.Batch, d *sched.Decision, batchSize int, dir string, ctx context.Context) *durablePhase {
+	t.Helper()
+	p := &durablePhase{rec: newRunRecord(), durable: true}
+	p.e = New(Config{
+		Threads: 4, Strategy: d, Cleanup: true,
+		Durability: &Durability{Dir: dir, SnapshotEvery: 2},
+	},
+		WithPunctuationCount(batchSize),
+		WithResultSink(func(r *BatchResult) {
+			p.seqs = append(p.seqs, r.Seq)
+			p.c += r.Committed
+			p.a += r.Aborted
+			p.durable = p.durable && r.Durable
+		}))
+	preloadState(p.e, b)
+	if err := p.e.Start(ctx); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	return p
+}
+
+func (p *durablePhase) ingest(t *testing.T, specs []workload.TxnSpec) {
+	t.Helper()
+	op := specOp(p.rec)
+	for _, s := range specs {
+		if err := p.e.Ingest(op, &Event{Data: s}); err != nil {
+			t.Fatalf("Ingest: %v", err)
+		}
+	}
+}
+
+// TestCrashRecoveryMatchesOracle is the kill-and-restart property test over
+// the strategy-matrix workloads: phase 1 processes half the stream durably
+// and then "crashes" (context cancelled, WAL never closed, a torn record
+// appended as if a punctuation append was cut mid-write). Phase 2 recovers
+// from the same directory and resumes the stream after the last batch whose
+// result phase 1 observed. Afterwards the table state, per-transaction abort
+// flags, blotter results and commit totals must match the serial oracle's
+// uninterrupted run, and no batch sequence may be processed twice.
+func TestCrashRecoveryMatchesOracle(t *testing.T) {
+	workloads := []struct {
+		name  string
+		batch *workload.Batch
+	}{
+		{"SL", workload.SL(workload.Config{
+			Txns: 240, StateSize: 64, Theta: 0.6, AbortRatio: 0.1,
+			Seed: 21, Length: 2, MultiRatio: 0.5,
+		})},
+		{"GS", workload.GS(workload.Config{
+			Txns: 240, StateSize: 96, Theta: 0.8, AbortRatio: 0.05,
+			Seed: 22, Length: 1, MultiRatio: 1,
+		})},
+		{"GSND", workload.GSND(workload.GSNDConfig{
+			Config:     workload.Config{Txns: 160, StateSize: 48, Seed: 23},
+			NDAccesses: 16,
+		})},
+	}
+	decisions := []*sched.Decision{
+		nil, // adaptive model
+		{Explore: sched.SExploreBFS, Gran: sched.FSchedule, Abort: sched.EAbort},
+		{Explore: sched.SExploreDFS, Gran: sched.FSchedule, Abort: sched.LAbort},
+		{Explore: sched.NSExplore, Gran: sched.CSchedule, Abort: sched.LAbort},
+	}
+	const batchSize = 40
+	for _, w := range workloads {
+		oSnap, oRec, oC, oA := runOracle(w.batch)
+		for _, d := range decisions {
+			name := "adaptive"
+			if d != nil {
+				name = d.String()
+			}
+			t.Run(w.name+"/"+name, func(t *testing.T) {
+				dir := t.TempDir()
+				specs := w.batch.Specs
+				crashBatches := len(specs) / batchSize / 2
+				crashEvents := crashBatches * batchSize
+
+				// Phase 1: process the first half, then crash without Close.
+				ctx, cancel := context.WithCancel(context.Background())
+				p1 := startDurablePhase(t, w.batch, d, batchSize, dir, ctx)
+				p1.ingest(t, specs[:crashEvents])
+				if err := p1.e.Drain(); err != nil {
+					t.Fatalf("phase-1 Drain: %v", err)
+				}
+				cancel()
+				if len(p1.seqs) != crashBatches {
+					t.Fatalf("phase-1 batches = %d; want %d", len(p1.seqs), crashBatches)
+				}
+				if !p1.durable {
+					t.Fatal("phase-1 delivered a non-durable result")
+				}
+				appendTornFrame(t, dir)
+
+				// Phase 2: recover and resume after the last observed batch.
+				p2 := startDurablePhase(t, w.batch, d, batchSize, dir, context.Background())
+				if got := p2.e.RecoveredSeq(); got != int64(crashBatches) {
+					t.Fatalf("RecoveredSeq = %d; want %d (torn tail truncated to previous punctuation)", got, crashBatches)
+				}
+				p2.ingest(t, specs[crashEvents:])
+				if err := p2.e.Close(); err != nil {
+					t.Fatalf("phase-2 Close: %v", err)
+				}
+
+				// Batch-Seq idempotence, explicitly: recovered sequences
+				// continue exactly after the crash point; nothing replays
+				// into the result stream and nothing is numbered twice.
+				seen := make(map[int64]bool, len(p1.seqs))
+				for _, s := range p1.seqs {
+					if seen[s] {
+						t.Fatalf("phase-1 delivered seq %d twice", s)
+					}
+					seen[s] = true
+				}
+				for i, s := range p2.seqs {
+					if seen[s] {
+						t.Fatalf("seq %d delivered in both phases", s)
+					}
+					if want := int64(crashBatches + i + 1); s != want {
+						t.Fatalf("phase-2 seq[%d] = %d; want %d", i, s, want)
+					}
+					seen[s] = true
+				}
+				if !p2.durable {
+					t.Fatal("phase-2 delivered a non-durable result")
+				}
+
+				// Merged outcomes must equal the oracle's uninterrupted run.
+				merged := newRunRecord()
+				for _, r := range []*runRecord{p1.rec, p2.rec} {
+					for id, ab := range r.aborted {
+						merged.aborted[id] = ab
+					}
+					for id, vals := range r.results {
+						merged.results[id] = vals
+					}
+				}
+				diffRuns(t, "recovered-vs-oracle", oSnap, oRec, oC, oA,
+					p2.e.Table().Snapshot(), merged, p1.c+p2.c, p1.a+p2.a)
+			})
+		}
+	}
+}
+
+// TestRecoveryEmptyWAL: a crash before any punctuation recovers from the
+// baseline snapshot alone — preloads survive without being re-run, and the
+// stream starts from batch one.
+func TestRecoveryEmptyWAL(t *testing.T) {
+	dir := t.TempDir()
+	e1 := New(Config{Threads: 1, Durability: &Durability{Dir: dir}},
+		WithResultSink(func(*BatchResult) {}))
+	e1.Table().Preload("acct", int64(42))
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := e1.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel() // crash with an empty log
+
+	// Note: no re-preload — recovery alone must restore the baseline.
+	e2 := New(Config{Threads: 1, Durability: &Durability{Dir: dir}},
+		WithPunctuationCount(2), WithResultSink(func(*BatchResult) {}))
+	if err := e2.Start(context.Background()); err != nil {
+		t.Fatalf("Start on empty WAL: %v", err)
+	}
+	if got := e2.RecoveredSeq(); got != 0 {
+		t.Fatalf("RecoveredSeq = %d; want 0", got)
+	}
+	if v, ok := e2.Table().Latest("acct"); !ok || v.(int64) != 42 {
+		t.Fatalf("preload not restored from baseline: %v, %v", v, ok)
+	}
+	op := depositOp()
+	for i := 0; i < 2; i++ {
+		if err := e2.Ingest(op, &Event{Data: [2]any{txn.Key("acct"), int64(1)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := e2.Table().Latest("acct"); v.(int64) != 44 {
+		t.Fatalf("acct = %v; want 44", v)
+	}
+}
+
+// TestRecoverySnapshotOnly: with the log fully truncated behind a snapshot,
+// restart recovers from the snapshot with zero records to replay.
+func TestRecoverySnapshotOnly(t *testing.T) {
+	dir := t.TempDir()
+	e1 := New(Config{Threads: 1, Durability: &Durability{Dir: dir, SnapshotEvery: 1}},
+		WithPunctuationCount(2), WithResultSink(func(*BatchResult) {}))
+	e1.Table().Preload("acct", int64(0))
+	if err := e1.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	op := depositOp()
+	for i := 0; i < 4; i++ { // two batches, each followed by a snapshot
+		if err := e1.Ingest(op, &Event{Data: [2]any{txn.Key("acct"), int64(1)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := New(Config{Threads: 1, Durability: &Durability{Dir: dir}},
+		WithResultSink(func(*BatchResult) {}))
+	if err := e2.Start(context.Background()); err != nil {
+		t.Fatalf("snapshot-only Start: %v", err)
+	}
+	defer e2.Close()
+	if got := e2.RecoveredSeq(); got != 2 {
+		t.Fatalf("RecoveredSeq = %d; want 2", got)
+	}
+	if v, _ := e2.Table().Latest("acct"); v.(int64) != 4 {
+		t.Fatalf("acct = %v; want 4", v)
+	}
+}
+
+// TestRecoveryTornTail: a torn final record recovers to the previous
+// punctuation rather than erroring out.
+func TestRecoveryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	e1 := New(Config{Threads: 1, Durability: &Durability{Dir: dir, SnapshotEvery: -1}},
+		WithPunctuationCount(2), WithResultSink(func(*BatchResult) {}))
+	e1.Table().Preload("acct", int64(0))
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := e1.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	op := depositOp()
+	for i := 0; i < 4; i++ {
+		if err := e1.Ingest(op, &Event{Data: [2]any{txn.Key("acct"), int64(1)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e1.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	cancel() // crash
+	appendTornFrame(t, dir)
+
+	e2 := New(Config{Threads: 1, Durability: &Durability{Dir: dir}},
+		WithResultSink(func(*BatchResult) {}))
+	if err := e2.Start(context.Background()); err != nil {
+		t.Fatalf("torn-tail Start: %v", err)
+	}
+	defer e2.Close()
+	if got := e2.RecoveredSeq(); got != 2 {
+		t.Fatalf("RecoveredSeq = %d; want 2 (both durable batches)", got)
+	}
+	if v, _ := e2.Table().Latest("acct"); v.(int64) != 4 {
+		t.Fatalf("acct = %v; want 4", v)
+	}
+}
+
+// TestDurabilityCustomSink: a wal.Sink injected through the option survives
+// an engine "restart" by reusing the same in-memory sink, and results carry
+// the Durable flag (absent without durability).
+func TestDurabilityCustomSink(t *testing.T) {
+	sink := wal.NewMemSink()
+	e1 := New(Config{Threads: 1}, WithDurability(&Durability{Sink: sink}),
+		WithPunctuationCount(2), WithResultSink(func(r *BatchResult) {
+			if !r.Durable {
+				t.Errorf("batch %d not durable with durability on", r.Seq)
+			}
+		}))
+	e1.Table().Preload("acct", int64(0))
+	if err := e1.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	op := depositOp()
+	for i := 0; i < 2; i++ {
+		if err := e1.Ingest(op, &Event{Data: [2]any{txn.Key("acct"), int64(1)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := New(Config{Threads: 1}, WithDurability(&Durability{Sink: sink}),
+		WithResultSink(func(*BatchResult) {}))
+	if err := e2.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if got := e2.RecoveredSeq(); got != 1 {
+		t.Fatalf("RecoveredSeq = %d; want 1", got)
+	}
+	if v, _ := e2.Table().Latest("acct"); v.(int64) != 2 {
+		t.Fatalf("acct = %v; want 2", v)
+	}
+
+	// Control: without durability the flag stays false.
+	e3 := New(Config{Threads: 1}, WithPunctuationCount(1),
+		WithResultSink(func(r *BatchResult) {
+			if r.Durable {
+				t.Error("Durable set without durability configured")
+			}
+		}))
+	e3.Table().Preload("acct", int64(0))
+	if err := e3.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	_ = e3.Ingest(op, &Event{Data: [2]any{txn.Key("acct"), int64(1)}})
+	if err := e3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurabilityMisconfigured: Start must fail loudly, not silently skip
+// logging, and the lifecycle stays reusable for a corrected engine.
+func TestDurabilityMisconfigured(t *testing.T) {
+	e := New(Config{Threads: 1}, WithDurability(&Durability{}))
+	if err := e.Start(context.Background()); err == nil {
+		t.Fatal("Start with empty Durability succeeded")
+	}
+	// The failed Start latched nothing: a proper engine still starts.
+	if err := e.Start(context.Background()); err == nil {
+		t.Fatal("second misconfigured Start succeeded")
+	}
+}
+
+// ---- lifecycle sentinel audit (double-Close, Drain-after-Close) ----
+
+// TestDrainAfterCleanClose: a Drain (or Ingest) arriving after a clean Close
+// must report ErrClosed — previously Drain returned nil because the clean
+// teardown mapped to "no error".
+func TestDrainAfterCleanClose(t *testing.T) {
+	e := New(Config{Threads: 1}, WithResultSink(func(*BatchResult) {}))
+	if err := e.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("double Close = %v; want nil (idempotent)", err)
+	}
+	if err := e.Drain(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Drain after Close = %v; want ErrClosed", err)
+	}
+	if err := e.Ingest(depositOp(), &Event{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Ingest after Close = %v; want ErrClosed", err)
+	}
+}
+
+// TestClosedNeverStarted: Close on a never-started engine latches the
+// lifecycle — Ingest and Drain then report ErrClosed, not ErrNotStarted.
+func TestClosedNeverStarted(t *testing.T) {
+	e := New(Config{Threads: 1})
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("double Close = %v; want nil", err)
+	}
+	if err := e.Drain(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Drain on closed never-started engine = %v; want ErrClosed", err)
+	}
+	if err := e.Ingest(depositOp(), &Event{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Ingest on closed never-started engine = %v; want ErrClosed", err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"morphstream/internal/engine"
 	"morphstream/internal/metrics"
 	"morphstream/internal/txn"
+	"morphstream/internal/wal"
 	"morphstream/internal/workload"
 )
 
@@ -96,6 +97,74 @@ func RunPipelined(b *workload.Batch, batchSize, threads int) (committed int, ela
 	}
 	<-done
 	return committed, time.Since(start), e.PipelineStats()
+}
+
+// RunPipelinedDurable is RunPipelined with the punctuation-delta WAL on: a
+// file-backed sink under dir, the given fsync policy, and the default
+// snapshot stride. It additionally reports how many delivered batches were
+// durable.
+func RunPipelinedDurable(b *workload.Batch, batchSize, threads int, dir string, sync wal.SyncPolicy) (committed int, elapsed time.Duration, stats metrics.OverlapStats) {
+	e := engine.New(engine.Config{Threads: threads, Cleanup: true,
+		Durability: &engine.Durability{Dir: dir, Sync: sync}},
+		engine.WithPunctuationCount(batchSize))
+	preloadEngine(e, b)
+	if err := e.Start(context.Background()); err != nil {
+		panic(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range e.Results() {
+			committed += r.Committed
+			if !r.Durable {
+				panic(fmt.Sprintf("batch %d not durable", r.Seq))
+			}
+		}
+	}()
+	op := specEngineOp()
+	start := time.Now()
+	for _, s := range b.Specs {
+		_ = e.Ingest(op, &engine.Event{Data: s})
+	}
+	if err := e.Close(); err != nil {
+		panic(err)
+	}
+	<-done
+	return committed, time.Since(start), e.PipelineStats()
+}
+
+// WALOverhead compares the pipelined lifecycle with durability off and on
+// (per-punctuation fsync, the default policy) on the same workload: the cost
+// of "commit information, not traffic" at the quiescent barrier.
+func WALOverhead(scale Scale, threads int, dir string) *Report {
+	b, batchSize := pipelineWorkload(scale)
+	r := &Report{
+		Title:  "Punctuation-delta WAL: durability overhead",
+		Header: []string{"mode", "events", "committed", "elapsed", "thr(k/s)", "overhead"},
+	}
+
+	pc, pe, _ := RunPipelined(b, batchSize, threads)
+	r.Rows = append(r.Rows, []string{
+		"pipelined", fmt.Sprint(len(b.Specs)), fmt.Sprint(pc),
+		pe.Round(time.Millisecond).String(), kps(len(b.Specs), pe), "-",
+	})
+
+	dc, de, _ := RunPipelinedDurable(b, batchSize, threads, dir, wal.SyncPunctuation)
+	overhead := "-"
+	if pe > 0 {
+		overhead = fmt.Sprintf("%+.1f%%", 100*(float64(de)/float64(pe)-1))
+	}
+	r.Rows = append(r.Rows, []string{
+		"pipelined+wal", fmt.Sprint(len(b.Specs)), fmt.Sprint(dc),
+		de.Round(time.Millisecond).String(), kps(len(b.Specs), de), overhead,
+	})
+
+	r.Notes = append(r.Notes,
+		"wal mode appends one checksummed net-delta record per punctuation (group fsync) and snapshots the table every "+fmt.Sprint(engine.DefaultSnapshotEvery)+" punctuations",
+		"the record is the batch's final version per key, swept shard-parallel from the aligned arena table at the quiescent barrier",
+		fmt.Sprintf("punctuation: every %d events; threads=%d; wal dir: %s", batchSize, threads, dir),
+	)
+	return r
 }
 
 // PipelineOverlap compares the batch-synchronous facade with the pipelined

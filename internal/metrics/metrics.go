@@ -7,6 +7,7 @@ package metrics
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -299,9 +300,15 @@ func (l *LatencyRecorder) Record(d time.Duration) {
 	l.mu.Unlock()
 }
 
-// RecordN appends the same latency for n events (batch completion).
+// RecordN appends the same latency for n events (batch completion). The
+// backing array grows once, so a large batch completion holds the mutex for
+// one allocation instead of O(n) incremental appends.
 func (l *LatencyRecorder) RecordN(d time.Duration, n int) {
+	if n <= 0 {
+		return
+	}
 	l.mu.Lock()
+	l.samples = slices.Grow(l.samples, n)
 	for i := 0; i < n; i++ {
 		l.samples = append(l.samples, d)
 	}
@@ -315,7 +322,20 @@ func (l *LatencyRecorder) Count() int {
 	return len(l.samples)
 }
 
-// Percentile returns the p-th percentile latency (0 <= p <= 100).
+// percentileIndex maps percentile p onto an index of a sorted sample slice
+// of length n > 0, clamping p outside [0, 100] (and NaN) into the valid
+// sample range instead of indexing out of bounds.
+func percentileIndex(p float64, n int) int {
+	if !(p > 0) { // p <= 0, or NaN
+		return 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	return int(p / 100 * float64(n-1))
+}
+
+// Percentile returns the p-th percentile latency; p is clamped to [0, 100].
 func (l *LatencyRecorder) Percentile(p float64) time.Duration {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -325,13 +345,12 @@ func (l *LatencyRecorder) Percentile(p float64) time.Duration {
 	s := make([]time.Duration, len(l.samples))
 	copy(s, l.samples)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	idx := int(p / 100 * float64(len(s)-1))
-	return s[idx]
+	return s[percentileIndex(p, len(s))]
 }
 
-// Percentiles returns the latencies at each requested percentile
-// (0 <= p <= 100), sorting the samples once — the bulk-read counterpart of
-// Percentile for reports that need several quantiles of a large recording.
+// Percentiles returns the latencies at each requested percentile (each p
+// clamped to [0, 100]), sorting the samples once — the bulk-read counterpart
+// of Percentile for reports that need several quantiles of a large recording.
 func (l *LatencyRecorder) Percentiles(ps ...float64) []time.Duration {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -343,7 +362,7 @@ func (l *LatencyRecorder) Percentiles(ps ...float64) []time.Duration {
 	copy(s, l.samples)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 	for i, p := range ps {
-		out[i] = s[int(p/100*float64(len(s)-1))]
+		out[i] = s[percentileIndex(p, len(s))]
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"slices"
 	"sync"
 	"testing"
 	"time"
@@ -94,6 +95,77 @@ func TestLatencyPercentiles(t *testing.T) {
 	l.RecordN(time.Second, 5)
 	if l.Count() != 105 {
 		t.Fatalf("count after RecordN = %d", l.Count())
+	}
+}
+
+// TestPercentileClamped pins the out-of-range fix: percentiles outside
+// [0, 100] clamp to the extreme samples instead of indexing out of bounds,
+// on both the single-quantile and the sort-once bulk paths, and the empty
+// recorder stays zero for any p.
+func TestPercentileClamped(t *testing.T) {
+	empty := NewLatencyRecorder()
+	for _, p := range []float64{-1, 0, 100, 110} {
+		if got := empty.Percentile(p); got != 0 {
+			t.Errorf("empty recorder p%v = %v; want 0", p, got)
+		}
+	}
+	if got := empty.Percentiles(-1, 0, 100, 110); !slices.Equal(got, make([]time.Duration, 4)) {
+		t.Errorf("empty recorder Percentiles = %v; want zeros", got)
+	}
+
+	l := NewLatencyRecorder()
+	for i := 1; i <= 10; i++ {
+		l.Record(time.Duration(i) * time.Millisecond)
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{-1, time.Millisecond},
+		{0, time.Millisecond},
+		{100, 10 * time.Millisecond},
+		{110, 10 * time.Millisecond},
+	}
+	ps := make([]float64, 0, len(cases))
+	for _, c := range cases {
+		if got := l.Percentile(c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v; want %v", c.p, got, c.want)
+		}
+		ps = append(ps, c.p)
+	}
+	bulk := l.Percentiles(ps...)
+	for i, c := range cases {
+		if bulk[i] != c.want {
+			t.Errorf("Percentiles(...)[%d] (p=%v) = %v; want %v", i, c.p, bulk[i], c.want)
+		}
+	}
+}
+
+// TestRecordNGrowsOnce checks RecordN's bulk fill: correct count and values,
+// and non-positive n is a no-op.
+func TestRecordNGrowsOnce(t *testing.T) {
+	l := NewLatencyRecorder()
+	l.RecordN(time.Second, 0)
+	l.RecordN(time.Second, -3)
+	if l.Count() != 0 {
+		t.Fatalf("count after no-op RecordN = %d", l.Count())
+	}
+	l.Record(time.Millisecond)
+	l.RecordN(2*time.Millisecond, 10000)
+	if l.Count() != 10001 {
+		t.Fatalf("count = %d; want 10001", l.Count())
+	}
+	if got := l.Percentile(100); got != 2*time.Millisecond {
+		t.Fatalf("p100 = %v; want 2ms", got)
+	}
+	// The bulk append allocates at most once for the grow (plus the lock's
+	// bookkeeping-free fast path): amortised allocs/op must be far below one
+	// per recorded sample.
+	allocs := testing.AllocsPerRun(10, func() {
+		l.RecordN(time.Millisecond, 1000)
+	})
+	if allocs > 2 {
+		t.Fatalf("RecordN(1000) allocates %.0f times per call; want <= 2 (grow once)", allocs)
 	}
 }
 

@@ -1,0 +1,132 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestLatestSinceSnapshotRestoreRoundtrip: a full LatestSince(0) sweep fed
+// back through Restore must reproduce the table's observable state, with
+// exactly one version per key (the latest) at its original timestamp.
+func TestLatestSinceSnapshotRestoreRoundtrip(t *testing.T) {
+	src := NewTable()
+	for i := 0; i < 300; i++ {
+		src.Preload(fmt.Sprintf("key-%03d", i), int64(-1))
+	}
+	// Overwrite most keys at increasing timestamps; leave some at preload.
+	for i := 0; i < 250; i++ {
+		id, _ := LookupID(fmt.Sprintf("key-%03d", i))
+		src.WriteID(id, uint64(100+i), int64(i))
+		src.WriteID(id, uint64(1000+i), int64(i*2))
+	}
+	src.Align(4, KeyID(src.DictLen()))
+
+	shards := src.LatestSince(0)
+	if len(shards) != 4 {
+		t.Fatalf("shard buckets = %d; want 4 (aligned)", len(shards))
+	}
+	total := 0
+	for _, es := range shards {
+		total += len(es)
+	}
+	if total != 300 {
+		t.Fatalf("entries = %d; want 300", total)
+	}
+
+	dst := NewTable()
+	dst.Restore(shards)
+	wantSnap := src.Snapshot()
+	gotSnap := dst.Snapshot()
+	if len(gotSnap) != len(wantSnap) {
+		t.Fatalf("restored keys = %d; want %d", len(gotSnap), len(wantSnap))
+	}
+	for k, wv := range wantSnap {
+		if gv, ok := gotSnap[k]; !ok || gv != wv {
+			t.Errorf("restored[%s] = %v (present %v); want %v", k, gv, ok, wv)
+		}
+	}
+	// Restore installs exactly the surviving version per key, at its
+	// original timestamp — reads between old timestamps still resolve.
+	if dst.TotalVersions() != 300 {
+		t.Fatalf("restored versions = %d; want 300 (one per key)", dst.TotalVersions())
+	}
+	id, _ := LookupID("key-000")
+	if v, ok := dst.ReadID(id, 999); ok {
+		t.Fatalf("read below surviving TS unexpectedly resolved: %v", v)
+	}
+	if v, ok := dst.ReadID(id, ^uint64(0)); !ok || v.(int64) != 0 {
+		t.Fatalf("latest of key-000 = %v, %v; want 0", v, ok)
+	}
+}
+
+// TestLatestSinceDeltaFiltering: with a watermark, only keys whose latest
+// version is at or after the watermark appear — the punctuation-delta sweep.
+// A key whose newer write was rolled back (removed) must not reappear.
+func TestLatestSinceDeltaFiltering(t *testing.T) {
+	tb := NewTable()
+	oldID := Intern("delta-old")
+	newID := Intern("delta-new")
+	bothID := Intern("delta-both")
+	abortID := Intern("delta-aborted")
+	tb.PreloadID(oldID, int64(1))
+	tb.PreloadID(abortID, int64(4))
+	tb.WriteID(oldID, 10, int64(11))
+	tb.WriteID(newID, 50, int64(22))
+	tb.WriteID(bothID, 10, int64(33))
+	tb.WriteID(bothID, 60, int64(34))
+	tb.WriteID(abortID, 55, int64(44))
+	tb.RemoveID(abortID, 55) // rollback: net state unchanged
+
+	got := make(map[Key]Entry)
+	for _, es := range tb.LatestSince(40) {
+		for _, en := range es {
+			got[en.Key] = en
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("delta keys = %v; want exactly delta-new and delta-both", got)
+	}
+	if en := got["delta-new"]; en.TS != 50 || en.Value.(int64) != 22 {
+		t.Errorf("delta-new = %+v", en)
+	}
+	if en := got["delta-both"]; en.TS != 60 || en.Value.(int64) != 34 {
+		t.Errorf("delta-both = %+v; want only the final version", en)
+	}
+}
+
+// TestLatestSinceShardBucketing: entry buckets are congruent with the
+// table's shard map, so the WAL's shard-bucketed records mirror ShardOf.
+func TestLatestSinceShardBucketing(t *testing.T) {
+	tb := NewTable()
+	const keys = 97
+	for i := 0; i < keys; i++ {
+		tb.Preload(fmt.Sprintf("bucket-%02d", i), int64(i))
+	}
+	tb.Align(8, KeyID(tb.DictLen()))
+	for si, es := range tb.LatestSince(0) {
+		for _, en := range es {
+			id, ok := LookupID(en.Key)
+			if !ok {
+				t.Fatalf("entry key %q not interned", en.Key)
+			}
+			if want := tb.ShardOf(id); want != si {
+				t.Errorf("key %q in bucket %d; ShardOf = %d", en.Key, si, want)
+			}
+		}
+	}
+}
+
+// TestRestoreClearsPriorState: restore is a replacement, not a merge —
+// keys present before but absent from the entries must be gone.
+func TestRestoreClearsPriorState(t *testing.T) {
+	tb := NewTable()
+	tb.Preload("stale", int64(1))
+	tb.Restore([][]Entry{{{Key: "fresh", TS: 7, Value: int64(2)}}})
+	snap := tb.Snapshot()
+	if len(snap) != 1 || snap["fresh"] != int64(2) {
+		t.Fatalf("restored snapshot = %v; want only fresh=2", snap)
+	}
+	if _, ok := tb.Latest("stale"); ok {
+		t.Fatal("stale key survived Restore")
+	}
+}

@@ -854,6 +854,110 @@ func (t *Table) TotalVersions() int {
 	return n
 }
 
+// Entry is one key's surviving (latest) version, the unit of the
+// durability layer's delta and snapshot streams: the punctuation WAL logs
+// net state per key ("commit information, not traffic"), so it only ever
+// needs a key's final version, never the intra-batch history. Keys travel
+// as strings because dense KeyIDs are an in-process artifact of interning
+// order and do not survive a restart.
+type Entry struct {
+	Key   Key
+	TS    uint64
+	Value Value
+}
+
+// LatestSince returns every present key's latest version with TS >= since,
+// bucketed by the table's current shards and swept shard-parallel. Two
+// callers, two meanings of since:
+//
+//   - since = 0 materialises the whole table — the shard-parallel snapshot
+//     (preloads at TS 0 included);
+//   - since = watermark+1 yields one punctuation's net state delta: any
+//     version newer than the previous batch's high timestamp was installed
+//     by the batch just executed (rolled-back aborts were removed under the
+//     abort fence, so they never appear).
+//
+// Like every whole-table operation it requires quiescence from dense-ID
+// accessors and sweeps the string-API safety stripes; the engine calls it
+// only at the punctuation boundary. The concurrently running planner stage
+// is safe: it touches no table state, and Dict.Name is lock-free.
+func (t *Table) LatestSince(since uint64) [][]Entry {
+	t.lockAll()
+	defer t.unlockAll()
+	ly := t.layout.Load()
+	out := make([][]Entry, len(ly.shards))
+	var wg sync.WaitGroup
+	for si := range ly.shards {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sh := &ly.shards[si]
+			dir := *sh.dir.Load()
+			var es []Entry
+			for bi, blk := range dir {
+				if blk == nil {
+					continue
+				}
+				base := sh.lo + uint64(bi)<<chainBlockBits
+				for p := range blk.chains {
+					c := blk.chains[p].Load()
+					if c == nil {
+						continue
+					}
+					vs := c.snap()
+					if len(vs) == 0 {
+						continue
+					}
+					if last := vs[len(vs)-1]; last.TS >= since {
+						es = append(es, Entry{
+							Key:   t.dict.Name(KeyID(base + uint64(p))),
+							TS:    last.TS,
+							Value: last.Value,
+						})
+					}
+				}
+			}
+			out[si] = es
+		}(si)
+	}
+	wg.Wait()
+	return out
+}
+
+// Restore discards the table's contents and installs the given
+// latest-version-per-key entries (as produced by LatestSince), re-interning
+// keys and rebuilding the shard directories and arenas from scratch — the
+// recovery path's inverse of the snapshot sweep. Shard buckets install in
+// parallel: distinct keys take the lock-free dense-ID write path (directory
+// growth is a shard-local CAS, arena allocation an atomic bump), so restore
+// speed scales with the snapshot's shard count. The next Align re-partitions
+// the rebuilt table to the executor's shard map as usual. Requires the same
+// quiescence as every whole-table operation; the engine restores only
+// before its pipeline starts.
+func (t *Table) Restore(shards [][]Entry) {
+	t.lockAll()
+	defer t.unlockAll()
+	// A fresh single-shard layout: old chains, directories and arena chunks
+	// become garbage wholesale. Restored keys count as births (the key set
+	// is rebuilt), keeping the engine's universe staleness signal honest.
+	t.layout.Store(newLayout(1, 1, &t.births))
+	var wg sync.WaitGroup
+	for _, es := range shards {
+		if len(es) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(es []Entry) {
+			defer wg.Done()
+			ly := t.layout.Load()
+			for _, en := range es {
+				ly.writeID(t.dict.Intern(en.Key), en.TS, en.Value)
+			}
+		}(es)
+	}
+	wg.Wait()
+}
+
 // Clone deep-copies the table (values are copied shallowly) into fresh
 // arenas, preserving the source's shard alignment. The TStream baseline
 // snapshots state at batch start to support whole-batch redo.

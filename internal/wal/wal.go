@@ -1,0 +1,417 @@
+// Package wal implements the punctuation-delta write-ahead log.
+//
+// The engine reaches a quiescent barrier at every punctuation: the batch's
+// transactions have all committed or rolled back, and the multi-version table
+// holds the net final version per key. Instead of logging raw event traffic,
+// the WAL logs that delta set — one length-prefixed, checksummed record per
+// batch, carrying the batch sequence number, the maximum timestamp the batch
+// consumed, and the changed keys bucketed by table shard ("commit
+// information, not traffic").
+//
+// Layout on the sink:
+//
+//	wal-%016d.log    segment of frames, named by its first record's Seq
+//	snap-%016d.snap  full-table snapshot covering everything through Seq
+//
+// Each frame is [4B LE payload len][4B CRC-32C of payload][gob payload],
+// encoded with a fresh gob encoder so every frame is self-contained and
+// replay can resume from any record boundary. Snapshots hold a header frame
+// followed by one frame per table shard, encoded shard-parallel.
+//
+// Recovery loads the newest decodable snapshot, replays every record with
+// Seq above the snapshot watermark (records at or below it are skipped —
+// batch-Seq idempotence), and repairs a torn tail: a crash mid-append leaves
+// a short or checksum-failing frame at the end of the last segment, which is
+// truncated away so the log recovers to the previous punctuation. A bad
+// frame anywhere else is real corruption and fails recovery loudly.
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"morphstream/internal/store"
+)
+
+// Record is one punctuation's durable unit: the net state delta of batch Seq.
+type Record struct {
+	// Seq is the batch sequence number (1-based, dense, monotonic).
+	Seq int64
+	// MaxTS is the highest transaction timestamp at or below this
+	// punctuation; replay seeds the engine's timestamp allocator past it.
+	MaxTS uint64
+	// Shards holds the final-version-per-key deltas bucketed by the table
+	// shard that owned the key when the record was cut.
+	Shards [][]store.Entry
+}
+
+// SyncPolicy controls when appended records are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncPunctuation (default) fsyncs once per appended record — a single
+	// group fsync covers the whole batch, so an observed batch result
+	// implies a durable batch.
+	SyncPunctuation SyncPolicy = iota
+	// SyncInterval fsyncs every Options.SyncEvery records; a crash may lose
+	// up to SyncEvery-1 punctuations.
+	SyncInterval
+	// SyncNone never fsyncs explicitly; durability rides on the OS cache.
+	SyncNone
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncPunctuation:
+		return "punctuation"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	}
+	return "?"
+}
+
+// Options tune a Log opened over a Sink.
+type Options struct {
+	Policy SyncPolicy
+	// SyncEvery is the fsync stride under SyncInterval (min 1).
+	SyncEvery int
+}
+
+// ErrCorrupt reports an undecodable frame before the tail of the last
+// segment — unlike a torn tail, this cannot be explained by a crash
+// mid-append and is never repaired silently.
+var ErrCorrupt = errors.New("wal: corrupt record before log tail")
+
+// ErrSeqOrder reports an append whose Seq does not advance the log.
+var ErrSeqOrder = errors.New("wal: non-monotonic batch sequence")
+
+// Recovery is everything Open reconstructed from the sink.
+type Recovery struct {
+	// HasSnapshot reports whether a snapshot was loaded; when false the
+	// sink was fresh (or held only records) and Snapshot is nil.
+	HasSnapshot bool
+	// SnapshotSeq is the batch watermark the snapshot covers (-1 if none).
+	SnapshotSeq int64
+	// Snapshot is the restored per-shard table image.
+	Snapshot [][]store.Entry
+	// Records are the replayable deltas above the snapshot, in Seq order.
+	Records []Record
+	// LastSeq is the highest durable batch sequence (0 for a fresh log).
+	LastSeq int64
+	// MaxTS is the highest timestamp across snapshot and records.
+	MaxTS uint64
+	// TornTail reports that the last segment ended in a torn frame that
+	// was truncated away.
+	TornTail bool
+	// Skipped counts records dropped for Seq idempotence (at or below the
+	// snapshot watermark, or not advancing the replay sequence).
+	Skipped int
+}
+
+// Log is a single-writer WAL. The engine appends from its executor goroutine
+// at punctuation boundaries; Close may be called afterwards from another
+// goroutine once the executor has quiesced. Log does not lock.
+type Log struct {
+	sink      Sink
+	policy    SyncPolicy
+	syncEvery int
+	unsynced  int
+	lastSeq   int64
+	snapSeq   int64
+	maxTS     uint64
+	encBuf    bytes.Buffer
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// gob carries store.Value (an interface) inside Entry, so every concrete
+// value type must be registered. The engine's builtin workloads use these;
+// applications with custom value types call RegisterValue before Start.
+func init() {
+	gob.Register(int(0))
+	gob.Register(int64(0))
+	gob.Register(uint64(0))
+	gob.Register(float64(0))
+	gob.Register("")
+	gob.Register(false)
+	gob.Register([]byte(nil))
+}
+
+// RegisterValue registers a concrete state-value type for WAL encoding.
+// Call it once (e.g. from an init function) for every custom type the
+// application stores in the table.
+func RegisterValue(v any) { gob.Register(v) }
+
+func writeFrame(dst *bytes.Buffer, payload []byte) {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst.Write(hdr[:])
+	dst.Write(payload)
+}
+
+// readFrame decodes one frame at the head of data, returning the payload and
+// total frame length. Any failure (short header, short payload, checksum
+// mismatch) means the bytes at this offset are not a durable frame.
+func readFrame(data []byte) (payload []byte, n int, err error) {
+	if len(data) < 8 {
+		return nil, 0, fmt.Errorf("wal: short frame header (%d bytes)", len(data))
+	}
+	size := int(binary.LittleEndian.Uint32(data[0:4]))
+	if len(data) < 8+size {
+		return nil, 0, fmt.Errorf("wal: short frame payload (%d of %d bytes)", len(data)-8, size)
+	}
+	payload = data[8 : 8+size]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[4:8]) {
+		return nil, 0, fmt.Errorf("wal: frame checksum mismatch")
+	}
+	return payload, 8 + size, nil
+}
+
+type snapHeader struct {
+	Seq    int64
+	MaxTS  uint64
+	Shards int
+}
+
+func encodeSnapshot(seq int64, maxTS uint64, shards [][]store.Entry) ([]byte, error) {
+	bufs := make([][]byte, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var b bytes.Buffer
+			errs[i] = gob.NewEncoder(&b).Encode(shards[i])
+			bufs[i] = b.Bytes()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var hb, out bytes.Buffer
+	if err := gob.NewEncoder(&hb).Encode(snapHeader{Seq: seq, MaxTS: maxTS, Shards: len(shards)}); err != nil {
+		return nil, err
+	}
+	writeFrame(&out, hb.Bytes())
+	for _, b := range bufs {
+		writeFrame(&out, b)
+	}
+	return out.Bytes(), nil
+}
+
+func decodeSnapshot(payload []byte) (snapHeader, [][]store.Entry, error) {
+	var hdr snapHeader
+	hp, n, err := readFrame(payload)
+	if err != nil {
+		return hdr, nil, err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(hp)).Decode(&hdr); err != nil {
+		return hdr, nil, err
+	}
+	raw := make([][]byte, hdr.Shards)
+	off := n
+	for i := 0; i < hdr.Shards; i++ {
+		sp, sn, err := readFrame(payload[off:])
+		if err != nil {
+			return hdr, nil, err
+		}
+		raw[i], off = sp, off+sn
+	}
+	shards := make([][]store.Entry, hdr.Shards)
+	errs := make([]error, hdr.Shards)
+	var wg sync.WaitGroup
+	for i := range raw {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = gob.NewDecoder(bytes.NewReader(raw[i])).Decode(&shards[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return hdr, nil, err
+		}
+	}
+	return hdr, shards, nil
+}
+
+// Open recovers the log state from the sink and readies it for appends: the
+// newest decodable snapshot is loaded, remaining records are replayed with
+// Seq idempotence, a torn tail is truncated, and a fresh segment is started
+// at LastSeq+1 so post-recovery appends never interleave with history.
+func Open(sink Sink, opts Options) (*Log, *Recovery, error) {
+	if opts.SyncEvery < 1 {
+		opts.SyncEvery = 1
+	}
+	rec := &Recovery{SnapshotSeq: -1}
+
+	snaps, err := sink.Snapshots()
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		payload, rerr := sink.ReadSnapshot(snaps[i])
+		if rerr != nil {
+			err = rerr
+			continue
+		}
+		hdr, shards, derr := decodeSnapshot(payload)
+		if derr != nil {
+			err = fmt.Errorf("wal: snapshot %d: %w", snaps[i], derr)
+			continue
+		}
+		rec.HasSnapshot = true
+		rec.SnapshotSeq = hdr.Seq
+		rec.Snapshot = shards
+		rec.LastSeq = hdr.Seq
+		rec.MaxTS = hdr.MaxTS
+		break
+	}
+	if !rec.HasSnapshot && err != nil {
+		return nil, nil, err
+	}
+
+	segs, err := sink.Segments()
+	if err != nil {
+		return nil, nil, err
+	}
+replay:
+	for si, seg := range segs {
+		data, err := sink.ReadSegment(seg)
+		if err != nil {
+			return nil, nil, err
+		}
+		off := 0
+		for off < len(data) {
+			payload, n, ferr := readFrame(data[off:])
+			var r Record
+			if ferr == nil {
+				ferr = gob.NewDecoder(bytes.NewReader(payload)).Decode(&r)
+			}
+			if ferr != nil {
+				if si != len(segs)-1 {
+					return nil, nil, fmt.Errorf("%w: segment %d offset %d: %v", ErrCorrupt, seg, off, ferr)
+				}
+				if terr := sink.TruncateSegment(seg, int64(off)); terr != nil {
+					return nil, nil, terr
+				}
+				rec.TornTail = true
+				break replay
+			}
+			off += n
+			if r.Seq <= rec.LastSeq {
+				rec.Skipped++
+				continue
+			}
+			rec.Records = append(rec.Records, r)
+			rec.LastSeq = r.Seq
+			if r.MaxTS > rec.MaxTS {
+				rec.MaxTS = r.MaxTS
+			}
+		}
+	}
+
+	if err := sink.StartSegment(rec.LastSeq + 1); err != nil {
+		return nil, nil, err
+	}
+	l := &Log{
+		sink:      sink,
+		policy:    opts.Policy,
+		syncEvery: opts.SyncEvery,
+		lastSeq:   rec.LastSeq,
+		snapSeq:   rec.SnapshotSeq,
+		maxTS:     rec.MaxTS,
+	}
+	return l, rec, nil
+}
+
+// Append logs one punctuation record and applies the sync policy. On return
+// under SyncPunctuation the record is durable.
+func (l *Log) Append(r Record) error {
+	if r.Seq <= l.lastSeq {
+		return fmt.Errorf("%w: append seq %d, last %d", ErrSeqOrder, r.Seq, l.lastSeq)
+	}
+	l.encBuf.Reset()
+	var pb bytes.Buffer
+	if err := gob.NewEncoder(&pb).Encode(&r); err != nil {
+		return err
+	}
+	writeFrame(&l.encBuf, pb.Bytes())
+	if err := l.sink.Append(l.encBuf.Bytes()); err != nil {
+		return err
+	}
+	l.lastSeq = r.Seq
+	if r.MaxTS > l.maxTS {
+		l.maxTS = r.MaxTS
+	}
+	switch l.policy {
+	case SyncPunctuation:
+		return l.sink.Sync()
+	case SyncInterval:
+		l.unsynced++
+		if l.unsynced >= l.syncEvery {
+			l.unsynced = 0
+			return l.sink.Sync()
+		}
+	}
+	return nil
+}
+
+// Snapshot persists a full-table image covering everything through seq, then
+// rotates: a fresh segment starts at seq+1, and segments and snapshots behind
+// the new watermark are dropped. Crash-safe at every step — the snapshot is
+// made durable before any history is discarded.
+func (l *Log) Snapshot(seq int64, maxTS uint64, shards [][]store.Entry) error {
+	if seq < l.snapSeq {
+		return fmt.Errorf("%w: snapshot seq %d, previous %d", ErrSeqOrder, seq, l.snapSeq)
+	}
+	payload, err := encodeSnapshot(seq, maxTS, shards)
+	if err != nil {
+		return err
+	}
+	if err := l.sink.Sync(); err != nil { // frames for seq itself must land first
+		return err
+	}
+	if err := l.sink.WriteSnapshot(seq, payload); err != nil {
+		return err
+	}
+	if err := l.sink.StartSegment(seq + 1); err != nil {
+		return err
+	}
+	if err := l.sink.DropSegmentsBelow(seq + 1); err != nil {
+		return err
+	}
+	if err := l.sink.DropSnapshotsBelow(seq); err != nil {
+		return err
+	}
+	l.snapSeq = seq
+	return nil
+}
+
+// Sync forces an fsync regardless of policy.
+func (l *Log) Sync() error { return l.sink.Sync() }
+
+// LastSeq returns the highest batch sequence appended or recovered.
+func (l *Log) LastSeq() int64 { return l.lastSeq }
+
+// SnapshotSeq returns the current snapshot watermark (-1 if none).
+func (l *Log) SnapshotSeq() int64 { return l.snapSeq }
+
+// MaxTS returns the highest timestamp appended or recovered.
+func (l *Log) MaxTS() uint64 { return l.maxTS }
+
+// Close flushes and closes the sink.
+func (l *Log) Close() error { return l.sink.Close() }

@@ -1,0 +1,378 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"morphstream/internal/store"
+)
+
+func rec(seq int64, maxTS uint64, kvs ...store.Entry) Record {
+	return Record{Seq: seq, MaxTS: maxTS, Shards: [][]store.Entry{kvs}}
+}
+
+func entry(k string, ts uint64, v int64) store.Entry {
+	return store.Entry{Key: k, TS: ts, Value: v}
+}
+
+func openFresh(t *testing.T, sink Sink, opts Options) (*Log, *Recovery) {
+	t.Helper()
+	l, r, err := Open(sink, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, r
+}
+
+// sinks runs a subtest against both backends.
+func sinks(t *testing.T, f func(t *testing.T, mk func(t *testing.T) Sink)) {
+	t.Run("mem", func(t *testing.T) {
+		f(t, func(t *testing.T) Sink { return NewMemSink() })
+	})
+	t.Run("file", func(t *testing.T) {
+		f(t, func(t *testing.T) Sink {
+			s, err := NewFileSink(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		})
+	})
+}
+
+// reopen closes nothing (simulating a crash) and opens a fresh Log over the
+// same backing store. For FileSink a new sink over the same dir is built so
+// no in-process buffers leak across the "restart".
+func reopen(t *testing.T, s Sink, opts Options) (*Log, *Recovery) {
+	t.Helper()
+	if fs, ok := s.(*FileSink); ok {
+		ns, err := NewFileSink(fs.Dir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s = ns
+	}
+	return openFresh(t, s, opts)
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	sinks(t, func(t *testing.T, mk func(t *testing.T) Sink) {
+		s := mk(t)
+		l, r := openFresh(t, s, Options{})
+		if r.HasSnapshot || r.LastSeq != 0 || len(r.Records) != 0 {
+			t.Fatalf("fresh recovery = %+v", r)
+		}
+		for i := int64(1); i <= 5; i++ {
+			if err := l.Append(rec(i, uint64(i*10), entry(fmt.Sprintf("k%d", i), uint64(i*10), i))); err != nil {
+				t.Fatalf("append %d: %v", i, err)
+			}
+		}
+		if l.LastSeq() != 5 {
+			t.Fatalf("LastSeq = %d", l.LastSeq())
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+
+		_, r2 := reopen(t, s, Options{})
+		if r2.LastSeq != 5 || len(r2.Records) != 5 || r2.MaxTS != 50 || r2.TornTail {
+			t.Fatalf("recovery = LastSeq %d Records %d MaxTS %d Torn %v", r2.LastSeq, len(r2.Records), r2.MaxTS, r2.TornTail)
+		}
+		for i, rr := range r2.Records {
+			if rr.Seq != int64(i+1) {
+				t.Fatalf("record %d Seq = %d", i, rr.Seq)
+			}
+			if len(rr.Shards) != 1 || len(rr.Shards[0]) != 1 {
+				t.Fatalf("record %d shards = %+v", i, rr.Shards)
+			}
+			if en := rr.Shards[0][0]; en.Value.(int64) != int64(i+1) {
+				t.Fatalf("record %d value = %v", i, en.Value)
+			}
+		}
+	})
+}
+
+func TestSeqMonotonic(t *testing.T) {
+	l, _ := openFresh(t, NewMemSink(), Options{})
+	if err := l.Append(rec(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec(1, 2)); !errors.Is(err, ErrSeqOrder) {
+		t.Fatalf("duplicate seq error = %v; want ErrSeqOrder", err)
+	}
+	if err := l.Append(rec(0, 2)); !errors.Is(err, ErrSeqOrder) {
+		t.Fatalf("regressing seq error = %v; want ErrSeqOrder", err)
+	}
+}
+
+func TestSnapshotRotationAndReplaySkip(t *testing.T) {
+	sinks(t, func(t *testing.T, mk func(t *testing.T) Sink) {
+		s := mk(t)
+		l, _ := openFresh(t, s, Options{})
+		for i := int64(1); i <= 4; i++ {
+			if err := l.Append(rec(i, uint64(i), entry("k", uint64(i), i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Snapshot(4, 4, [][]store.Entry{{entry("k", 4, 4)}}); err != nil {
+			t.Fatalf("snapshot: %v", err)
+		}
+		if err := l.Append(rec(5, 9, entry("k", 9, 5))); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+
+		segs, _ := s.Segments()
+		for _, seg := range segs {
+			if seg < 5 {
+				t.Fatalf("pre-snapshot segment %d survived rotation (segments %v)", seg, segs)
+			}
+		}
+		snaps, _ := s.Snapshots()
+		if len(snaps) != 1 || snaps[0] != 4 {
+			t.Fatalf("snapshots = %v; want [4]", snaps)
+		}
+
+		_, r := reopen(t, s, Options{})
+		if !r.HasSnapshot || r.SnapshotSeq != 4 {
+			t.Fatalf("recovery snapshot = %+v", r)
+		}
+		if len(r.Records) != 1 || r.Records[0].Seq != 5 {
+			t.Fatalf("replay records = %+v; want only seq 5", r.Records)
+		}
+		if r.LastSeq != 5 || r.MaxTS != 9 {
+			t.Fatalf("LastSeq %d MaxTS %d", r.LastSeq, r.MaxTS)
+		}
+		if v := r.Snapshot[0][0].Value.(int64); v != 4 {
+			t.Fatalf("snapshot value = %v", v)
+		}
+	})
+}
+
+// TestReplayIdempotence: records at or below the snapshot watermark are
+// skipped even when their segments survive (crash between snapshot rename and
+// segment cleanup), so no batch is ever applied twice.
+func TestReplayIdempotence(t *testing.T) {
+	s := NewMemSink()
+	l, _ := openFresh(t, s, Options{})
+	for i := int64(1); i <= 3; i++ {
+		if err := l.Append(rec(i, uint64(i), entry("k", uint64(i), i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot through 3, but resurrect the dropped segment as a stale
+	// duplicate — exactly what a crash between WriteSnapshot and
+	// DropSegmentsBelow leaves behind.
+	old, err := s.ReadSegment(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Snapshot(3, 3, [][]store.Entry{{entry("k", 3, 3)}}); err != nil {
+		t.Fatal(err)
+	}
+	s.segs[1] = old
+
+	_, r := reopen(t, s, Options{})
+	if len(r.Records) != 0 {
+		t.Fatalf("replayed %d duplicate records; want 0", len(r.Records))
+	}
+	if r.Skipped != 3 {
+		t.Fatalf("Skipped = %d; want 3", r.Skipped)
+	}
+	if r.LastSeq != 3 {
+		t.Fatalf("LastSeq = %d", r.LastSeq)
+	}
+}
+
+func TestTornTailTruncation(t *testing.T) {
+	sinks(t, func(t *testing.T, mk func(t *testing.T) Sink) {
+		s := mk(t)
+		l, _ := openFresh(t, s, Options{})
+		for i := int64(1); i <= 3; i++ {
+			if err := l.Append(rec(i, uint64(i), entry("k", uint64(i), i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		// Tear the tail: an in-flight frame whose payload never finished.
+		torn := []byte{0xff, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}
+		switch ms := s.(type) {
+		case *MemSink:
+			ms.AppendRaw(1, torn)
+		case *FileSink:
+			f, err := os.OpenFile(filepath.Join(ms.Dir(), segName(1)), os.O_APPEND|os.O_WRONLY, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(torn); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+		}
+
+		_, r := reopen(t, s, Options{})
+		if !r.TornTail {
+			t.Fatal("TornTail not reported")
+		}
+		if r.LastSeq != 3 || len(r.Records) != 3 {
+			t.Fatalf("recovered LastSeq %d Records %d; want 3/3", r.LastSeq, len(r.Records))
+		}
+		// The torn bytes must be gone: a third open sees a clean log.
+		_, r2 := reopen(t, s, Options{})
+		if r2.TornTail {
+			t.Fatal("tail still torn after repair")
+		}
+		if r2.LastSeq != 3 {
+			t.Fatalf("LastSeq after repair = %d", r2.LastSeq)
+		}
+	})
+}
+
+// TestMidLogCorruption: a bad frame in a non-final segment is not a torn
+// tail and must fail recovery with ErrCorrupt.
+func TestMidLogCorruption(t *testing.T) {
+	s := NewMemSink()
+	l, _ := openFresh(t, s, Options{})
+	if err := l.Append(rec(1, 1, entry("k", 1, 1))); err != nil {
+		t.Fatal(err)
+	}
+	// Force a second segment so segment 1 is no longer last.
+	if err := s.StartSegment(2); err != nil {
+		t.Fatal(err)
+	}
+	l2 := &Log{sink: s, lastSeq: 1}
+	if err := l2.Append(rec(2, 2, entry("k", 2, 2))); err != nil {
+		t.Fatal(err)
+	}
+	s.Corrupt(1, 10) // payload byte of the first record
+
+	_, _, err := Open(NewMemSinkFrom(s), Options{})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-log corruption error = %v; want ErrCorrupt", err)
+	}
+}
+
+func TestSyncIntervalPolicy(t *testing.T) {
+	s := &countingSink{Sink: NewMemSink()}
+	l, _ := openFresh(t, s, Options{Policy: SyncInterval, SyncEvery: 3})
+	base := s.syncs
+	for i := int64(1); i <= 7; i++ {
+		if err := l.Append(rec(i, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.syncs - base; got != 2 {
+		t.Fatalf("interval syncs = %d; want 2 (after records 3 and 6)", got)
+	}
+
+	s2 := &countingSink{Sink: NewMemSink()}
+	l2, _ := openFresh(t, s2, Options{Policy: SyncNone})
+	base2 := s2.syncs
+	for i := int64(1); i <= 7; i++ {
+		if err := l2.Append(rec(i, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s2.syncs - base2; got != 0 {
+		t.Fatalf("SyncNone issued %d syncs", got)
+	}
+
+	s3 := &countingSink{Sink: NewMemSink()}
+	l3, _ := openFresh(t, s3, Options{Policy: SyncPunctuation})
+	base3 := s3.syncs
+	for i := int64(1); i <= 7; i++ {
+		if err := l3.Append(rec(i, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s3.syncs - base3; got != 7 {
+		t.Fatalf("punctuation syncs = %d; want 7", got)
+	}
+}
+
+type countingSink struct {
+	Sink
+	syncs int
+}
+
+func (c *countingSink) Sync() error {
+	c.syncs++
+	return c.Sink.Sync()
+}
+
+// NewMemSinkFrom clones a MemSink's contents into a fresh sink — crash-test
+// "same disk, new process".
+func NewMemSinkFrom(src *MemSink) *MemSink {
+	dst := NewMemSink()
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	for k, v := range src.segs {
+		dst.segs[k] = append([]byte(nil), v...)
+	}
+	for k, v := range src.snaps {
+		dst.snaps[k] = append([]byte(nil), v...)
+	}
+	return dst
+}
+
+func TestSnapshotOnlyRestart(t *testing.T) {
+	sinks(t, func(t *testing.T, mk func(t *testing.T) Sink) {
+		s := mk(t)
+		l, _ := openFresh(t, s, Options{})
+		for i := int64(1); i <= 2; i++ {
+			if err := l.Append(rec(i, uint64(i), entry("k", uint64(i), i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Snapshot(2, 2, [][]store.Entry{{entry("k", 2, 2)}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		_, r := reopen(t, s, Options{})
+		if !r.HasSnapshot || r.SnapshotSeq != 2 || len(r.Records) != 0 {
+			t.Fatalf("snapshot-only recovery = %+v", r)
+		}
+		if r.LastSeq != 2 || r.MaxTS != 2 {
+			t.Fatalf("LastSeq %d MaxTS %d", r.LastSeq, r.MaxTS)
+		}
+	})
+}
+
+func TestFileSinkSurvivesUncleanBufferedTail(t *testing.T) {
+	// SyncNone + no Close: buffered frames never reach the file. Recovery
+	// must come up clean at the last synced point, not error.
+	dir := t.TempDir()
+	s, err := NewFileSink(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := openFresh(t, s, Options{Policy: SyncNone})
+	if err := l.Append(rec(1, 1, entry("k", 1, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec(2, 2, entry("k", 2, 2))); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: sink abandoned with record 2 still in the write buffer.
+	s2, err := NewFileSink(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r := openFresh(t, s2, Options{})
+	if r.LastSeq != 1 || len(r.Records) != 1 {
+		t.Fatalf("recovered LastSeq %d Records %d; want 1/1 (unsynced tail lost)", r.LastSeq, len(r.Records))
+	}
+}

@@ -85,6 +85,7 @@ import (
 	"morphstream/internal/sched"
 	"morphstream/internal/store"
 	"morphstream/internal/txn"
+	"morphstream/internal/wal"
 )
 
 // Core value types.
@@ -228,6 +229,48 @@ func WithIngestBuffer(n int) Option { return engine.WithIngestBuffer(n) }
 // pipeline's executor goroutine, in punctuation order — instead of the
 // Results channel.
 func WithResultSink(fn func(*BatchResult)) Option { return engine.WithResultSink(fn) }
+
+// Durability (punctuation-delta WAL). With durability enabled the streaming
+// lifecycle logs, at every punctuation, the batch's net final-version-per-key
+// state deltas — "commit information, not traffic" — as one checksummed
+// record; periodic shard-parallel snapshots bound the log, and Start recovers
+// the table by restoring the newest snapshot and replaying the records above
+// it with batch-sequence idempotence. Under the default sync policy a
+// delivered BatchResult implies a durable batch, so after a crash the stream
+// owner resumes ingestion right after Engine.RecoveredSeq() and no result is
+// ever produced twice.
+type (
+	// Durability configures the WAL: a directory (or custom sink), the
+	// fsync policy, and the snapshot stride. See engine.Durability.
+	Durability = engine.Durability
+	// WALSyncPolicy controls when appended records are fsynced.
+	WALSyncPolicy = wal.SyncPolicy
+	// WALSink is the pluggable storage backend of the log.
+	WALSink = wal.Sink
+)
+
+// WAL fsync policies.
+const (
+	// SyncPunctuation (default): one group fsync per punctuation.
+	SyncPunctuation = wal.SyncPunctuation
+	// SyncInterval: fsync every Durability.SyncEvery punctuations.
+	SyncInterval = wal.SyncInterval
+	// SyncNone: never fsync explicitly; durability rides on the OS cache.
+	SyncNone = wal.SyncNone
+)
+
+// WithDurability enables the punctuation-delta WAL for the streaming
+// lifecycle (Start recovers, punctuations log, Close closes the log).
+func WithDurability(d *Durability) Option { return engine.WithDurability(d) }
+
+// RegisterWALValue registers a concrete state-value type for WAL encoding.
+// Builtin scalar types (int, int64, uint64, float64, string, bool, []byte)
+// are pre-registered; call this once per custom type before Start.
+func RegisterWALValue(v any) { wal.RegisterValue(v) }
+
+// NewWALFileSink opens (creating if needed) a file-backed WAL sink over dir —
+// the same backend Durability.Dir configures, exposed for composition.
+func NewWALFileSink(dir string) (WALSink, error) { return wal.NewFileSink(dir) }
 
 // New creates an engine over a fresh state table.
 func New(cfg Config, opts ...Option) *Engine { return engine.New(cfg, opts...) }

@@ -1,6 +1,7 @@
 package morphstream_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -184,6 +185,78 @@ func TestPublicAPIPinnedStrategies(t *testing.T) {
 		if v.(int64) != 50 {
 			t.Fatalf("%v: k = %v; want 50", d, v)
 		}
+	}
+}
+
+// TestPublicAPIDurableRestart drives the durability surface end to end:
+// a durable engine processes a stream, stops without closing (a crash as far
+// as the WAL is concerned), and a second engine over the same directory
+// recovers the state and resumes the batch numbering.
+func TestPublicAPIDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	deposit := morphstream.OperatorFuncs{
+		Access: func(_ *morphstream.EventBlotter, b *morphstream.TxnBuilder) error {
+			b.Write("acct", []morphstream.Key{"acct"},
+				func(_ *morphstream.Ctx, src []morphstream.Value) (morphstream.Value, error) {
+					return src[0].(int64) + 1, nil
+				})
+			return nil
+		},
+	}
+
+	eng := morphstream.New(morphstream.Config{Threads: 2, Cleanup: true},
+		morphstream.WithDurability(&morphstream.Durability{
+			Dir:  dir,
+			Sync: morphstream.SyncPunctuation,
+		}),
+		morphstream.WithPunctuationCount(4),
+		morphstream.WithResultSink(func(r *morphstream.BatchResult) {
+			if !r.Durable {
+				t.Errorf("batch %d delivered without durability", r.Seq)
+			}
+		}))
+	eng.Table().Preload("acct", int64(0))
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := eng.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := eng.Ingest(deposit, &morphstream.Event{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	cancel() // crash: the WAL is never cleanly closed
+
+	eng2 := morphstream.New(morphstream.Config{Threads: 2, Cleanup: true},
+		morphstream.WithDurability(&morphstream.Durability{Dir: dir}),
+		morphstream.WithPunctuationCount(4),
+		morphstream.WithResultSink(func(r *morphstream.BatchResult) {
+			if r.Seq != 3 {
+				t.Errorf("post-recovery batch Seq = %d; want 3", r.Seq)
+			}
+		}))
+	if err := eng2.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng2.RecoveredSeq(); got != 2 {
+		t.Fatalf("RecoveredSeq = %d; want 2", got)
+	}
+	if v, ok := eng2.Table().Latest("acct"); !ok || v.(int64) != 8 {
+		t.Fatalf("recovered acct = %v, %v; want 8", v, ok)
+	}
+	for i := 0; i < 4; i++ {
+		if err := eng2.Ingest(deposit, &morphstream.Event{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := eng2.Table().Latest("acct"); v.(int64) != 12 {
+		t.Fatalf("acct after resume = %v; want 12", v)
 	}
 }
 
