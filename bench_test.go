@@ -722,3 +722,34 @@ func BenchmarkHotKeyFusion(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkServeThroughput measures the framed RPC front door end to end:
+// four loopback client connections flood the demo ledger operator and every
+// event's receipt round trip is recorded client-side. events/s is the
+// aggregate submit-to-receipt rate over the wire (framing + gob + kernel
+// socket path + receipt fan-out on top of the engine); rtt-p95-us and
+// rtt-p99-us are the tail receipt round-trip times in microseconds. The CI
+// bench gate tracks the ns/op of the whole flood.
+func BenchmarkServeThroughput(b *testing.B) {
+	const (
+		conns   = 4
+		events  = 1280 // per connection
+		span    = 64
+		balance = 1000
+	)
+	var last *harness.ServeFloodResult
+	for i := 0; i < b.N; i++ {
+		res, err := harness.ServeFloodNetwork(conns, events, span, balance, benchThreads())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Committed+res.Aborted != res.Events {
+			b.Fatalf("lost receipts: %d+%d != %d", res.Committed, res.Aborted, res.Events)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Events*b.N)/b.Elapsed().Seconds(), "events/s")
+	ps := last.RTT.Percentiles(95, 99)
+	b.ReportMetric(float64(ps[0].Microseconds()), "rtt-p95-us")
+	b.ReportMetric(float64(ps[1].Microseconds()), "rtt-p99-us")
+}

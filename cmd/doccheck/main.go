@@ -1,0 +1,193 @@
+// Command doccheck fails when a Go package exports an identifier without a
+// doc comment. It exists to keep the public surfaces (the root morphstream
+// package and the client package) fully documented: `go vet` does not check
+// documentation, and a missing comment on an exported symbol is exactly the
+// kind of regression a reviewer skims past.
+//
+// Usage:
+//
+//	doccheck [-v] ./ ./client
+//
+// Each argument is a package directory. For every non-test file, every
+// exported top-level declaration — func, type, const, var, and exported
+// struct fields and interface methods of exported types — must carry a doc
+// comment (a grouped const/var block's comment covers its members; a
+// member-level comment also counts). Exit status 1 lists every violation as
+// file:line: identifier.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "list every checked package")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck [-v] dir [dir...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range flag.Args() {
+		n, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		if *verbose {
+			fmt.Printf("doccheck: %s: %d undocumented export(s)\n", dir, n)
+		}
+		bad += n
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented export(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses every non-test .go file in dir (no recursion — pass each
+// package directory explicitly) and reports undocumented exports.
+func checkDir(dir string) (int, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	bad := 0
+	for _, pkg := range pkgs {
+		// Sort files for deterministic output order.
+		names := make([]string, 0, len(pkg.Files))
+		for name := range pkg.Files {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			bad += checkFile(fset, pkg.Files[name])
+		}
+	}
+	return bad, nil
+}
+
+func checkFile(fset *token.FileSet, f *ast.File) int {
+	bad := 0
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		fmt.Printf("%s:%d: undocumented exported %s %s\n",
+			relPath(p.Filename), p.Line, what, name)
+		bad++
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil && !isExportedMethodOfUnexported(d) {
+				what := "function"
+				if d.Recv != nil {
+					what = "method"
+				}
+				report(d.Pos(), what, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			checkGenDecl(d, report)
+		}
+	}
+	return bad
+}
+
+// isExportedMethodOfUnexported reports whether d is an exported method on an
+// unexported receiver type — documented or not, it is unreachable API, so it
+// is exempt (interface satisfaction often forces such methods to exist).
+func isExportedMethodOfUnexported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return false
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return !x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// checkGenDecl handles const/var/type blocks. A doc comment on the grouped
+// declaration covers all its specs; otherwise each exported spec needs its
+// own comment. Exported struct fields and interface methods of a documented
+// exported type must each carry a comment too.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	groupDoc := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil && !groupDoc {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+			if s.Name.IsExported() {
+				checkTypeMembers(s, report)
+			}
+		case *ast.ValueSpec:
+			kind := "const"
+			if d.Tok == token.VAR {
+				kind = "var"
+			}
+			for _, n := range s.Names {
+				if n.IsExported() && s.Doc == nil && s.Comment == nil && !groupDoc {
+					report(n.Pos(), kind, n.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkTypeMembers descends into struct fields and interface methods of an
+// exported type: each exported member needs a doc or line comment.
+func checkTypeMembers(s *ast.TypeSpec, report func(token.Pos, string, string)) {
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		for _, f := range t.Fields.List {
+			for _, n := range f.Names {
+				if n.IsExported() && f.Doc == nil && f.Comment == nil {
+					report(n.Pos(), "field", s.Name.Name+"."+n.Name)
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		for _, m := range t.Methods.List {
+			for _, n := range m.Names {
+				if n.IsExported() && m.Doc == nil && m.Comment == nil {
+					report(n.Pos(), "interface method", s.Name.Name+"."+n.Name)
+				}
+			}
+		}
+	}
+}
+
+// relPath shortens filename to be relative to the working directory when it
+// is beneath it, for stable readable output in CI logs.
+func relPath(filename string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return filename
+	}
+	if rel, err := filepath.Rel(wd, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return filename
+}

@@ -30,8 +30,26 @@ func main() {
 		pipelined = flag.Bool("pipelined", false, "compare the pipelined Start/Ingest/Drain lifecycle against the synchronous facade and report plan/execute overlap")
 		zipf      = flag.Bool("zipf", false, "sweep Zipf skew on the hot-key workload with plan-time operation fusion off and on; reports planned TPG size, throughput and per-event latency percentiles")
 		walMode   = flag.Bool("wal", false, "run the pipelined lifecycle with the punctuation-delta WAL off and on (per-punctuation group fsync) and report the durability overhead")
+		serve     = flag.Bool("serve", false, "flood the framed RPC front door over loopback TCP (multi-connection, per-event receipt RTTs) and compare against in-process ingest of the same stream")
+		conns     = flag.Int("conns", 4, "client connections for -serve")
 	)
 	flag.Parse()
+
+	if *serve {
+		start := time.Now()
+		report, err := harness.ServeFlood(harness.Scale(*scale), *conns, *threads)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve flood:", err)
+			os.Exit(1)
+		}
+		if len(report.Rows) < 2 {
+			fmt.Fprintln(os.Stderr, "serve flood produced no rows")
+			os.Exit(1)
+		}
+		fmt.Println(report.String())
+		fmt.Printf("(serve flood completed in %v)\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	if *walMode {
 		start := time.Now()

@@ -1,0 +1,61 @@
+package rpcserve
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Codec encodes and decodes Submit payloads. Codecs are named in the Hello
+// handshake, so one server can speak several encodings at once; each Submit
+// payload must decode independently (no cross-frame codec state — every
+// frame stands alone, so a receiver can resynchronise per frame).
+type Codec interface {
+	// Name identifies the codec in the Hello handshake ("gob", ...).
+	Name() string
+	// Encode serialises one event payload.
+	Encode(v any) ([]byte, error)
+	// Decode reverses Encode. The input aliases the connection's read
+	// buffer; implementations must not retain it.
+	Decode(data []byte) (any, error)
+}
+
+// GobCodec is the default payload codec: each frame is an independent
+// encoding/gob stream of a single wrapper struct, so arbitrary registered
+// concrete types travel behind an interface field. Self-describing and
+// Go-native; non-Go clients should register an alternative Codec (or speak
+// a future JSON codec) instead of re-implementing gob.
+type GobCodec struct{}
+
+// gobBox lets gob carry interface-typed payloads: the concrete type must be
+// registered on both ends via RegisterPayload.
+type gobBox struct{ V any }
+
+// Name implements Codec.
+func (GobCodec) Name() string { return "gob" }
+
+// Encode implements Codec. Each call produces a self-contained gob stream:
+// the type wire description is re-sent per frame, trading bytes for
+// stateless frames that decode in isolation.
+func (GobCodec) Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gobBox{V: v}); err != nil {
+		return nil, fmt.Errorf("rpcserve: gob encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode implements Codec.
+func (GobCodec) Decode(data []byte) (any, error) {
+	var box gobBox
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&box); err != nil {
+		return nil, fmt.Errorf("rpcserve: gob decode: %w", err)
+	}
+	return box.V, nil
+}
+
+// RegisterPayload registers a concrete payload type for the gob codec; call
+// it once per type, on both client and server, before the first Submit.
+// The demo payload types of this package (Transfer, Deposit) are
+// pre-registered.
+func RegisterPayload(v any) { gob.Register(v) }

@@ -1,0 +1,584 @@
+package rpcserve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"morphstream/internal/engine"
+	"morphstream/internal/txn"
+	"morphstream/internal/wal"
+)
+
+// newTestServer starts a server with the demo ledger on a loopback
+// listener and returns it with its dial address. The server is drained at
+// test cleanup.
+func newTestServer(t *testing.T, accounts int, balance int64, mut ...func(*Config)) (*Server, string) {
+	t.Helper()
+	cfg := Config{
+		Engine: engine.Config{
+			Threads:           2,
+			Cleanup:           true,
+			PunctuateEvery:    256,
+			PunctuateInterval: 2 * time.Millisecond,
+		},
+		WriteTimeout: 5 * time.Second,
+	}
+	for _, m := range mut {
+		m(&cfg)
+	}
+	s := New(cfg)
+	s.Register(LedgerOperatorName, LedgerOperator())
+	PreloadAccounts(s.Engine().Table(), accounts, balance)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(lis) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return s, lis.Addr().String()
+}
+
+// genOps builds a deterministic per-client op sequence over the client's
+// private account range [base, base+span): transfers sized to abort
+// sometimes, with deposits mixed in.
+func genOps(seed int64, n, base, span int, balance int64) []any {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]any, n)
+	for i := range ops {
+		from := base + rng.Intn(span)
+		to := base + rng.Intn(span)
+		if rng.Intn(8) == 0 {
+			ops[i] = Deposit{To: AccountKey(to), Amount: int64(1 + rng.Intn(20))}
+			continue
+		}
+		ops[i] = Transfer{
+			From:   AccountKey(from),
+			To:     AccountKey(to),
+			Amount: int64(1 + rng.Intn(int(balance))),
+		}
+	}
+	return ops
+}
+
+// runOracle executes the same per-client op sequences on an in-process
+// engine (no network) and returns each event's outcome status plus the
+// final balance of every account. Clients use disjoint account ranges, so
+// sequential per-client ingest yields the same outcomes as any
+// cross-client interleaving.
+func runOracle(t *testing.T, ops [][]any, accounts int, balance int64) ([][]Status, []int64) {
+	t.Helper()
+	eng := engine.New(engine.Config{
+		Threads:        2,
+		Cleanup:        true,
+		PunctuateEvery: 256,
+	}, engine.WithResultSink(func(*engine.BatchResult) {}))
+	inner := LedgerOperator()
+	var statuses []Status
+	op := engine.OperatorFuncs{
+		Pre:    inner.PreProcess,
+		Access: inner.StateAccess,
+		Post: func(_ *engine.Event, _ *txn.EventBlotter, aborted bool) error {
+			if aborted {
+				statuses = append(statuses, StatusAborted)
+			} else {
+				statuses = append(statuses, StatusCommitted)
+			}
+			return nil
+		},
+	}
+	PreloadAccounts(eng.Table(), accounts, balance)
+	if err := eng.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, list := range ops {
+		for _, o := range list {
+			if err := eng.Ingest(op, &engine.Event{Data: o}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	balances := make([]int64, accounts)
+	for i := range balances {
+		v, ok := eng.Table().Latest(txn.Key(AccountKey(i)))
+		if !ok {
+			t.Fatalf("oracle: account %d missing", i)
+		}
+		balances[i] = v.(int64)
+	}
+	// Split the flat post-order status stream back per client: sequential
+	// ingest means client c's statuses are contiguous.
+	out := make([][]Status, len(ops))
+	off := 0
+	for c, list := range ops {
+		out[c] = statuses[off : off+len(list)]
+		off += len(list)
+	}
+	return out, balances
+}
+
+// floodClient streams ops through one connection and returns the receipts
+// in arrival order.
+func floodClient(t *testing.T, addr string, ops []any) []Receipt {
+	t.Helper()
+	c, err := Dial(addr, ClientConfig{Operator: LedgerOperatorName})
+	if err != nil {
+		t.Errorf("dial: %v", err)
+		return nil
+	}
+	var got []Receipt
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range c.Receipts() {
+			got = append(got, r)
+		}
+	}()
+	for i, o := range ops {
+		if _, err := c.Submit(o); err != nil {
+			t.Errorf("submit %d: %v", i, err)
+			break
+		}
+	}
+	if err := c.Drain(); err != nil {
+		t.Errorf("drain: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	<-done
+	return got
+}
+
+// TestFloodMultiConnection is the acceptance flood: concurrent connections
+// stream events and every one gets an exactly-once, in-order receipt whose
+// outcome matches the in-process engine run of the same sequences.
+func TestFloodMultiConnection(t *testing.T) {
+	const (
+		conns   = 4
+		span    = 16
+		balance = int64(40)
+	)
+	events := 25000
+	if testing.Short() {
+		events = 2000
+	}
+	accounts := conns * span
+	ops := make([][]any, conns)
+	for c := range ops {
+		ops[c] = genOps(int64(1000+c), events, c*span, span, balance)
+	}
+	wantStatuses, wantBalances := runOracle(t, ops, accounts, balance)
+
+	srv, addr := newTestServer(t, accounts, balance)
+	got := make([][]Receipt, conns)
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			got[c] = floodClient(t, addr, ops[c])
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for c := 0; c < conns; c++ {
+		if len(got[c]) != events {
+			t.Fatalf("client %d: %d receipts, want %d", c, len(got[c]), events)
+		}
+		var lastSeq int64
+		for i, r := range got[c] {
+			if r.TxnID != uint64(i+1) {
+				t.Fatalf("client %d receipt %d: txn %d, want %d (out of order or duplicated)", c, i, r.TxnID, i+1)
+			}
+			if r.Status != wantStatuses[c][i] {
+				t.Fatalf("client %d event %d: status %v, want %v", c, i, r.Status, wantStatuses[c][i])
+			}
+			if r.Seq < lastSeq {
+				t.Fatalf("client %d event %d: batch seq %d < %d (receipts must follow batch order)", c, i, r.Seq, lastSeq)
+			}
+			lastSeq = r.Seq
+		}
+	}
+	for i, want := range wantBalances {
+		v, ok := srv.Engine().Table().Latest(txn.Key(AccountKey(i)))
+		if !ok || v.(int64) != want {
+			t.Fatalf("account %d: balance %v (ok=%v), want %d", i, v, ok, want)
+		}
+	}
+	waitSessionsGone(t, srv)
+}
+
+// TestDurableReceipts serves over a WAL-backed engine and checks receipts
+// carry the durability bit.
+func TestDurableReceipts(t *testing.T) {
+	_, addr := newTestServer(t, 8, 100, func(cfg *Config) {
+		cfg.Engine.Durability = &engine.Durability{Sink: wal.NewMemSink()}
+	})
+	ops := genOps(7, 200, 0, 8, 100)
+	for i, r := range floodClient(t, addr, ops) {
+		if !r.Durable {
+			t.Fatalf("receipt %d: not durable under SyncPunctuation WAL", i)
+		}
+	}
+}
+
+// TestClientDisconnectMidFlood aborts one connection mid-stream: the
+// surviving connections must complete unaffected and the dead session must
+// not leak.
+func TestClientDisconnectMidFlood(t *testing.T) {
+	const (
+		conns   = 3
+		span    = 8
+		balance = int64(40)
+	)
+	events := 8000
+	if testing.Short() {
+		events = 1000
+	}
+	accounts := (conns + 1) * span
+	srv, addr := newTestServer(t, accounts, balance)
+
+	// The doomed client: submits on its own account range, then vanishes
+	// without Goodbye.
+	doomed, err := Dial(addr, ClientConfig{Operator: LedgerOperatorName})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for range doomed.Receipts() {
+		}
+	}()
+	for _, o := range genOps(99, 500, conns*span, span, balance) {
+		if _, err := doomed.Submit(o); err != nil {
+			break
+		}
+	}
+	doomed.Flush()
+
+	ops := make([][]any, conns)
+	for c := range ops {
+		ops[c] = genOps(int64(2000+c), events, c*span, span, balance)
+	}
+	wantStatuses, _ := runOracle(t, ops, accounts, balance)
+
+	var wg sync.WaitGroup
+	got := make([][]Receipt, conns)
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			got[c] = floodClient(t, addr, ops[c])
+		}(c)
+	}
+	// Kill the doomed connection while the flood is in flight.
+	time.Sleep(5 * time.Millisecond)
+	doomed.Abort()
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for c := 0; c < conns; c++ {
+		if len(got[c]) != events {
+			t.Fatalf("client %d: %d receipts, want %d", c, len(got[c]), events)
+		}
+		for i, r := range got[c] {
+			if r.TxnID != uint64(i+1) || r.Status != wantStatuses[c][i] {
+				t.Fatalf("client %d event %d: got (txn %d, %v), want (txn %d, %v)",
+					c, i, r.TxnID, r.Status, i+1, wantStatuses[c][i])
+			}
+		}
+	}
+	waitSessionsGone(t, srv)
+}
+
+// TestShutdownDrain stops the server mid-flood: every client must observe
+// a gapless in-order receipt prefix, any explicit failures strictly after
+// all executed receipts, then the server's drain announcement.
+func TestShutdownDrain(t *testing.T) {
+	const (
+		conns   = 3
+		span    = 8
+		balance = int64(40)
+	)
+	accounts := conns * span
+	srv, addr := newTestServer(t, accounts, balance)
+
+	type result struct {
+		receipts  []Receipt
+		closeErr  error
+		submitted int
+		submitErr error
+	}
+	results := make([]result, conns)
+	var wg sync.WaitGroup
+	started := make(chan struct{}, conns)
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := Dial(addr, ClientConfig{Operator: LedgerOperatorName})
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for r := range cl.Receipts() {
+					results[c].receipts = append(results[c].receipts, r)
+					if len(results[c].receipts) == 1 {
+						started <- struct{}{}
+					}
+				}
+			}()
+			ops := genOps(int64(3000+c), 1<<20, c*span, span, balance)
+			for _, o := range ops {
+				if _, err := cl.Submit(o); err != nil {
+					results[c].submitErr = err
+					break
+				}
+				if err := cl.Flush(); err != nil {
+					results[c].submitErr = err
+					break
+				}
+				results[c].submitted++
+			}
+			results[c].closeErr = cl.Close()
+			<-done
+		}(c)
+	}
+	// Shut down only once every client has seen at least one receipt, so
+	// the non-empty-prefix assertion below is deterministic even on a
+	// heavily loaded single-core box.
+	for c := 0; c < conns; c++ {
+		<-started
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for c := 0; c < conns; c++ {
+		rs := results[c].receipts
+		if len(rs) == 0 {
+			t.Fatalf("client %d: no receipts before drain (submitted=%d submitErr=%v closeErr=%v)",
+				c, results[c].submitted, results[c].submitErr, results[c].closeErr)
+		}
+		sawFailed := false
+		for i, r := range rs {
+			if r.TxnID != uint64(i+1) {
+				t.Fatalf("client %d: receipt %d has txn %d — not a gapless in-order prefix", c, i, r.TxnID)
+			}
+			switch r.Status {
+			case StatusCommitted, StatusAborted, StatusDropped, StatusInvalid:
+				if sawFailed {
+					t.Fatalf("client %d: executed receipt (txn %d, %v) after a Failed receipt", c, r.TxnID, r.Status)
+				}
+			case StatusFailed:
+				sawFailed = true
+				if r.Seq != 0 || r.Durable {
+					t.Fatalf("client %d: Failed receipt carries seq=%d durable=%v", c, r.Seq, r.Durable)
+				}
+			default:
+				t.Fatalf("client %d: unexpected receipt status %v", c, r.Status)
+			}
+		}
+		if err := results[c].closeErr; !errors.Is(err, ErrServerDraining) {
+			t.Fatalf("client %d: close err = %v, want ErrServerDraining", c, err)
+		}
+	}
+	if n := srv.Sessions(); n != 0 {
+		t.Fatalf("%d sessions alive after shutdown", n)
+	}
+}
+
+// TestProtocolErrors drives raw sockets through malformed exchanges and
+// checks the server answers with the specified error frame.
+func TestProtocolErrors(t *testing.T) {
+	_, addr := newTestServer(t, 4, 100)
+
+	dial := func(t *testing.T) (net.Conn, *frameReader) {
+		t.Helper()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { conn.Close() })
+		conn.SetDeadline(time.Now().Add(5 * time.Second))
+		return conn, newFrameReader(conn, 0)
+	}
+	send := func(t *testing.T, conn net.Conn, f Frame) {
+		t.Helper()
+		scratch := make([]byte, HeaderSize)
+		if err := writeFrame(conn, scratch, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hello := func(t *testing.T, conn net.Conn, fr *frameReader) {
+		t.Helper()
+		send(t, conn, Frame{Type: FrameHello, Payload: encodeHello("gob", LedgerOperatorName)})
+		f, err := fr.read()
+		if err != nil || f.Type != FrameHelloOK {
+			t.Fatalf("hello: frame %v err %v", f.Type, err)
+		}
+	}
+	expectError := func(t *testing.T, fr *frameReader, want Status) {
+		t.Helper()
+		f, err := fr.read()
+		if err != nil {
+			t.Fatalf("expected error frame, got read error %v", err)
+		}
+		if f.Type != FrameError || f.Status != want {
+			t.Fatalf("got (%v, %v), want (error, %v)", f.Type, f.Status, want)
+		}
+	}
+
+	t.Run("bad magic", func(t *testing.T) {
+		conn, fr := dial(t)
+		raw := header(FrameHello, 0, 0, 0)
+		copy(raw, "XXXX")
+		if _, err := conn.Write(raw); err != nil {
+			t.Fatal(err)
+		}
+		expectError(t, fr, StatusBadMagic)
+	})
+	t.Run("bad version", func(t *testing.T) {
+		conn, fr := dial(t)
+		raw := header(FrameHello, 0, 0, 0)
+		raw[4] = 42
+		if _, err := conn.Write(raw); err != nil {
+			t.Fatal(err)
+		}
+		expectError(t, fr, StatusBadVersion)
+	})
+	t.Run("unknown codec", func(t *testing.T) {
+		conn, fr := dial(t)
+		send(t, conn, Frame{Type: FrameHello, Payload: encodeHello("cbor", LedgerOperatorName)})
+		expectError(t, fr, StatusUnknownCodec)
+	})
+	t.Run("unknown operator", func(t *testing.T) {
+		conn, fr := dial(t)
+		send(t, conn, Frame{Type: FrameHello, Payload: encodeHello("gob", "no-such-op")})
+		expectError(t, fr, StatusUnknownOperator)
+	})
+	t.Run("submit before hello", func(t *testing.T) {
+		conn, fr := dial(t)
+		send(t, conn, Frame{Type: FrameSubmit, TxnID: 1})
+		expectError(t, fr, StatusProtocol)
+	})
+	t.Run("oversized payload", func(t *testing.T) {
+		conn, fr := dial(t)
+		hello(t, conn, fr)
+		raw := header(FrameSubmit, 0, 1, DefaultMaxPayload+1)
+		if _, err := conn.Write(raw); err != nil {
+			t.Fatal(err)
+		}
+		expectError(t, fr, StatusTooLarge)
+	})
+	t.Run("txn id not increasing", func(t *testing.T) {
+		conn, fr := dial(t)
+		hello(t, conn, fr)
+		payload, err := GobCodec{}.Encode(Deposit{To: AccountKey(0), Amount: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		send(t, conn, Frame{Type: FrameSubmit, TxnID: 5, Payload: payload})
+		send(t, conn, Frame{Type: FrameSubmit, TxnID: 5, Payload: payload})
+		for {
+			f, err := fr.read()
+			if err != nil {
+				t.Fatalf("expected protocol error frame, got read error %v", err)
+			}
+			if f.Type == FrameReceipt {
+				continue // the first submit's receipt may arrive first
+			}
+			if f.Type != FrameError || f.Status != StatusProtocol {
+				t.Fatalf("got (%v, %v), want (error, protocol-violation)", f.Type, f.Status)
+			}
+			break
+		}
+	})
+	t.Run("undecodable payload gets invalid receipt", func(t *testing.T) {
+		conn, fr := dial(t)
+		hello(t, conn, fr)
+		send(t, conn, Frame{Type: FrameSubmit, TxnID: 1, Payload: []byte("not gob at all")})
+		f, err := fr.read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type != FrameReceipt || f.Status != StatusInvalid || f.TxnID != 1 {
+			t.Fatalf("got (%v, %v, txn %d), want (receipt, invalid, txn 1)", f.Type, f.Status, f.TxnID)
+		}
+	})
+	t.Run("goodbye flushes then closes", func(t *testing.T) {
+		conn, fr := dial(t)
+		hello(t, conn, fr)
+		payload, err := GobCodec{}.Encode(Deposit{To: AccountKey(1), Amount: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		send(t, conn, Frame{Type: FrameSubmit, TxnID: 1, Payload: payload})
+		send(t, conn, Frame{Type: FrameGoodbye})
+		f, err := fr.read()
+		if err != nil || f.Type != FrameReceipt || f.Status != StatusCommitted {
+			t.Fatalf("want committed receipt before goodbye-ok, got (%v, %v, err %v)", f.Type, f.Status, err)
+		}
+		f, err = fr.read()
+		if err != nil || f.Type != FrameGoodbyeOK {
+			t.Fatalf("want goodbye-ok, got (%v, err %v)", f.Type, err)
+		}
+	})
+}
+
+// TestDialRejections covers the client-side surface of handshake failures.
+func TestDialRejections(t *testing.T) {
+	_, addr := newTestServer(t, 4, 100)
+	if _, err := Dial(addr, ClientConfig{}); err == nil {
+		t.Fatal("Dial without operator: expected error")
+	}
+	if _, err := Dial(addr, ClientConfig{Operator: "no-such-op"}); err == nil {
+		t.Fatal("Dial with unknown operator: expected error")
+	} else if want := StatusUnknownOperator.String(); !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name %q", err, want)
+	}
+}
+
+func waitSessionsGone(t *testing.T, srv *Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.Sessions() == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("sessions leaked: %d still live", srv.Sessions())
+}

@@ -1,0 +1,166 @@
+package rpcserve
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: FrameHello, Payload: encodeHello("gob", "transfer")},
+		{Type: FrameHelloOK},
+		{Type: FrameSubmit, TxnID: 1, Payload: []byte("payload-bytes")},
+		{Type: FrameReceipt, Status: StatusCommitted, TxnID: 1, Payload: encodeReceiptPayload(make([]byte, receiptPayloadSize), 42, true)},
+		{Type: FrameDrain, TxnID: 7},
+		{Type: FrameDrainOK, TxnID: 7},
+		{Type: FrameGoodbye, Status: StatusShuttingDown},
+		{Type: FrameGoodbyeOK},
+		{Type: FrameError, Status: StatusProtocol, Payload: []byte("boom")},
+	}
+	var buf bytes.Buffer
+	scratch := make([]byte, HeaderSize)
+	for _, f := range frames {
+		if err := writeFrame(&buf, scratch, f); err != nil {
+			t.Fatalf("writeFrame(%v): %v", f.Type, err)
+		}
+	}
+	fr := newFrameReader(&buf, 0)
+	for i, want := range frames {
+		got, err := fr.read()
+		if err != nil {
+			t.Fatalf("read frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Status != want.Status || got.TxnID != want.TxnID ||
+			!bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := fr.read(); err != io.EOF {
+		t.Fatalf("after last frame: err=%v, want EOF", err)
+	}
+}
+
+func TestFrameReaderRejectsBadMagic(t *testing.T) {
+	raw := make([]byte, HeaderSize)
+	copy(raw, "NOPE")
+	raw[4] = ProtocolVersion
+	raw[5] = byte(FrameHello)
+	_, err := newFrameReader(bytes.NewReader(raw), 0).read()
+	assertWireError(t, err, StatusBadMagic)
+}
+
+func TestFrameReaderRejectsBadVersion(t *testing.T) {
+	raw := header(FrameHello, 0, 0, 0)
+	raw[4] = ProtocolVersion + 9
+	_, err := newFrameReader(bytes.NewReader(raw), 0).read()
+	assertWireError(t, err, StatusBadVersion)
+}
+
+func TestFrameReaderRejectsUnknownType(t *testing.T) {
+	for _, typ := range []FrameType{0, FrameError + 1, 200} {
+		raw := header(typ, 0, 0, 0)
+		_, err := newFrameReader(bytes.NewReader(raw), 0).read()
+		assertWireError(t, err, StatusBadFrame)
+	}
+}
+
+func TestFrameReaderRejectsOversizedPayload(t *testing.T) {
+	raw := header(FrameSubmit, 0, 1, 1<<16)
+	_, err := newFrameReader(bytes.NewReader(raw), 1024).read()
+	assertWireError(t, err, StatusTooLarge)
+}
+
+func TestFrameReaderTruncated(t *testing.T) {
+	// A header announcing more payload than the stream carries: the reader
+	// must surface a transport error, not fabricate a frame.
+	raw := append(header(FrameSubmit, 0, 1, 8), 'x', 'y')
+	if _, err := newFrameReader(bytes.NewReader(raw), 0).read(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated payload: err=%v, want ErrUnexpectedEOF", err)
+	}
+	// Truncated header.
+	if _, err := newFrameReader(bytes.NewReader(raw[:10]), 0).read(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated header: err=%v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	codec, op, err := parseHello(encodeHello("gob", "transfer"))
+	if err != nil || codec != "gob" || op != "transfer" {
+		t.Fatalf("got (%q, %q, %v)", codec, op, err)
+	}
+	for _, bad := range [][]byte{nil, {}, {5, 'g'}, append(encodeHello("gob", "transfer"), 'x')} {
+		if _, _, err := parseHello(bad); err == nil {
+			t.Fatalf("parseHello(%v): expected error", bad)
+		}
+	}
+}
+
+func TestReceiptPayloadRoundTrip(t *testing.T) {
+	p := encodeReceiptPayload(make([]byte, receiptPayloadSize), 99, true)
+	seq, durable, err := parseReceiptPayload(p)
+	if err != nil || seq != 99 || !durable {
+		t.Fatalf("got (%d, %v, %v)", seq, durable, err)
+	}
+	if _, _, err := parseReceiptPayload(p[:4]); err == nil {
+		t.Fatal("short receipt payload: expected error")
+	}
+}
+
+func TestGobCodecFramesAreSelfContained(t *testing.T) {
+	c := GobCodec{}
+	a, err := c.Encode(Transfer{From: "a", To: "b", Amount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Encode(Deposit{To: "c", Amount: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decode out of order: each frame must stand alone.
+	vb, err := c.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, err := c.Decode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va.(Transfer).Amount != 3 || vb.(Deposit).Amount != 9 {
+		t.Fatalf("got %v, %v", va, vb)
+	}
+	if _, err := c.Decode([]byte("garbage")); err == nil {
+		t.Fatal("garbage decode: expected error")
+	}
+}
+
+func TestStatusAndFrameTypeStrings(t *testing.T) {
+	for st := StatusOK; st <= StatusInternal; st++ {
+		if s := st.String(); strings.HasPrefix(s, "status(") &&
+			st <= StatusFailed {
+			t.Fatalf("status %d has no name", st)
+		}
+	}
+	if FrameType(99).String() != "frame(99)" {
+		t.Fatalf("unknown frame type string: %q", FrameType(99).String())
+	}
+}
+
+// header builds a raw frame header for malformed-input tests.
+func header(t FrameType, st Status, txnID uint64, size uint32) []byte {
+	raw := make([]byte, HeaderSize)
+	putHeader(raw, t, st, txnID, size)
+	return raw
+}
+
+func assertWireError(t *testing.T, err error, want Status) {
+	t.Helper()
+	we, ok := err.(*wireError)
+	if !ok {
+		t.Fatalf("err=%v (%T), want *wireError", err, err)
+	}
+	if we.status != want {
+		t.Fatalf("status=%v, want %v", we.status, want)
+	}
+}

@@ -105,6 +105,25 @@ func (b *Builder) NDRead(keyf KeyFn, fn ReadFn) *Operation {
 	return op
 }
 
+// Len reports how many operations the transaction currently holds. Paired
+// with Truncate it lets a wrapping operator undo a partially issued
+// STATE_ACCESS (the RPC front door drops an event whose inner operator
+// errored mid-composition without leaking its half-built ops).
+func (b *Builder) Len() int { return len(b.t.Ops) }
+
+// Truncate discards the operations issued after the first n, returning the
+// transaction to an earlier Len() point. It is only valid before the
+// transaction is planned into a TPG.
+func (b *Builder) Truncate(n int) {
+	if n < 0 || n >= len(b.t.Ops) {
+		return
+	}
+	for i := n; i < len(b.t.Ops); i++ {
+		b.t.Ops[i] = nil
+	}
+	b.t.Ops = b.t.Ops[:n]
+}
+
 // NDWrite issues a non-deterministic write whose target key is determined by
 // keyf and whose value is computed by valf from the values of srcs (srcs may
 // be empty when the value is self-contained).

@@ -163,15 +163,29 @@ type (
 	AbortMode = sched.AbortMode
 )
 
-// Scheduling decision constants.
+// Scheduling decision constants, one per axis value of the decision space.
 const (
+	// SExploreBFS explores the TPG structurally, breadth-first:
+	// stratum-by-stratum with barriers between dependency levels.
 	SExploreBFS = sched.SExploreBFS
+	// SExploreDFS explores the TPG structurally, depth-first:
+	// pre-assigned operations with per-dependency waits.
 	SExploreDFS = sched.SExploreDFS
-	NSExplore   = sched.NSExplore
-	FSchedule   = sched.FSchedule
-	CSchedule   = sched.CSchedule
-	EAbort      = sched.EAbort
-	LAbort      = sched.LAbort
+	// NSExplore explores non-structurally: a dependency-resolution driven
+	// work queue from which workers pick any ready operation.
+	NSExplore = sched.NSExplore
+	// FSchedule schedules at fine granularity: one operation per
+	// scheduling unit.
+	FSchedule = sched.FSchedule
+	// CSchedule schedules at coarse granularity: a whole per-key
+	// operation chain per scheduling unit.
+	CSchedule = sched.CSchedule
+	// EAbort handles aborts eagerly: roll back as soon as an operation
+	// fails.
+	EAbort = sched.EAbort
+	// LAbort handles aborts lazily: failures are logged and repaired
+	// after the TPG is fully explored.
+	LAbort = sched.LAbort
 )
 
 // Engine types.
