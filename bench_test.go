@@ -556,8 +556,11 @@ func BenchmarkWALAppend(b *testing.B) {
 		}
 	}
 	run := func(b *testing.B, sink wal.Sink, policy wal.SyncPolicy) {
-		l, _, err := wal.Open(sink, wal.Options{Policy: policy})
+		l, rec, err := wal.Open(sink, wal.Options{Policy: policy})
 		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rec.Drain(); err != nil {
 			b.Fatal(err)
 		}
 		defer l.Close()
@@ -591,6 +594,56 @@ func BenchmarkWALAppend(b *testing.B) {
 			b.Fatal(err)
 		}
 		run(b, s, wal.SyncPunctuation)
+	})
+}
+
+// BenchmarkWALCommitSparse measures the commit hook's state sweep on the
+// sparse-touch shape the dirty-set path exists for: a 1M-key table of which
+// one punctuation touched 1k keys. "dirty" is the commit path as shipped —
+// LatestFor over the batch's touched keys, O(touched); "full" is the
+// superseded whole-table LatestSince sweep, O(keys), kept as the oracle.
+// Both run against the same aligned table at the same watermark and return
+// the same 1k entries, so ns/op is directly comparable; the CI bench gate
+// tracks both so neither the fast path nor the oracle regresses. The sweeps
+// are read-only, so the table is built once and reused across iterations.
+func BenchmarkWALCommitSparse(b *testing.B) {
+	const nKeys = 1 << 20
+	const touched = 1024
+	tb := store.NewTable()
+	ids := make([]store.KeyID, nKeys)
+	for i := range ids {
+		ids[i] = store.Intern(workload.KeyName(i))
+		tb.PreloadID(ids[i], int64(i))
+	}
+	tb.Align(4, ids[nKeys-1]+1)
+	dirty := make([]store.KeyID, touched)
+	for i := range dirty {
+		id := ids[i*(nKeys/touched)]
+		tb.WriteID(id, uint64(i+1), int64(i))
+		dirty[i] = id
+	}
+	count := func(shards [][]store.Entry) int {
+		n := 0
+		for _, es := range shards {
+			n += len(es)
+		}
+		return n
+	}
+	b.Run("dirty", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if n := count(tb.LatestFor(dirty, 1)); n != touched {
+				b.Fatalf("dirty sweep returned %d entries; want %d", n, touched)
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if n := count(tb.LatestSince(1)); n != touched {
+				b.Fatalf("full sweep returned %d entries; want %d", n, touched)
+			}
+		}
 	})
 }
 

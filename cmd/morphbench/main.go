@@ -30,6 +30,7 @@ func main() {
 		pipelined = flag.Bool("pipelined", false, "compare the pipelined Start/Ingest/Drain lifecycle against the synchronous facade and report plan/execute overlap")
 		zipf      = flag.Bool("zipf", false, "sweep Zipf skew on the hot-key workload with plan-time operation fusion off and on; reports planned TPG size, throughput and per-event latency percentiles")
 		walMode   = flag.Bool("wal", false, "run the pipelined lifecycle with the punctuation-delta WAL off and on (per-punctuation group fsync) and report the durability overhead")
+		statesize = flag.Int("statesize", 0, "with -wal: sweep the keyspace up to this many keys at a fixed 1k-key touch set per punctuation, reporting the commit hook's dirty-set sweep time against the full-table baseline, separately from record encode and fsync")
 		serve     = flag.Bool("serve", false, "flood the framed RPC front door over loopback TCP (multi-connection, per-event receipt RTTs) and compare against in-process ingest of the same stream")
 		conns     = flag.Int("conns", 4, "client connections for -serve")
 	)
@@ -59,7 +60,12 @@ func main() {
 			os.Exit(1)
 		}
 		defer os.RemoveAll(dir)
-		report := harness.WALOverhead(harness.Scale(*scale), *threads, dir)
+		var report *harness.Report
+		if *statesize > 0 {
+			report = harness.WALSparse(*statesize, 1024, *threads, dir)
+		} else {
+			report = harness.WALOverhead(harness.Scale(*scale), *threads, dir)
+		}
 		if report == nil || len(report.Rows) < 2 {
 			fmt.Fprintln(os.Stderr, "wal comparison produced no rows")
 			os.Exit(1)

@@ -216,6 +216,11 @@ type plannedBatch struct {
 	dropped int
 	planned time.Duration
 	maxTS   uint64
+	// dirty is the batch's touched-key set, exported from the builders'
+	// per-key lists at seal time (durability only): the WAL commit sweep
+	// visits only these chains. ND-resolved keys join it at the
+	// punctuation quiescent point, once execution has pinned them down.
+	dirty []store.KeyID
 }
 
 // builderPool hands planner stages a TPG builder per scheduling group and
@@ -315,6 +320,13 @@ type Engine struct {
 	walWatermark uint64
 	walErr       error
 	recoveredSeq int64
+	// snapDirty accumulates the union of batch dirty sets since the last
+	// snapshot, and snapWatermark the timestamp watermark that snapshot
+	// covered: together they let the snapshot hook cut an incremental diff
+	// (LatestFor over the accumulated set) instead of a full-table sweep.
+	snapDirty      map[store.KeyID]struct{}
+	snapWatermark  uint64
+	recoveredDiffs int
 
 	// Streaming lifecycle state (pipeline.go).
 	lifeMu  sync.Mutex
@@ -488,6 +500,11 @@ func (e *Engine) seal(pb *pendingBatch) *plannedBatch {
 		if g.txns == 0 {
 			continue
 		}
+		if e.cfg.Durability != nil {
+			// Export the dirty set before Finalize: the ND fan-out is
+			// about to insert a virtual entry into every known key list.
+			out.dirty = g.builder.AppendDirtyKeys(out.dirty)
+		}
 		sw := metrics.Start()
 		graph := g.builder.Finalize(e.cfg.Threads)
 		sw.Stop(e.Breakdown, metrics.Construct)
@@ -599,7 +616,17 @@ func (e *Engine) executeBatch(pb *plannedBatch) *BatchResult {
 	// holds them and before the result can be observed — an observed
 	// result therefore implies a durable batch.
 	if e.wal != nil && e.walErr == nil {
-		e.commitWAL(res, pb.maxTS)
+		// Complete the dirty set with the keys ND operations resolved (or
+		// created) during execution — rolled-back ND writes cleared their
+		// written flag, so only surviving writes join.
+		for _, pj := range pb.jobs {
+			for _, op := range pj.graph.NDOps {
+				if id, ok := op.WrittenID(); ok {
+					pb.dirty = append(pb.dirty, id)
+				}
+			}
+		}
+		e.commitWAL(res, pb.maxTS, pb.dirty)
 	}
 	for _, pj := range pb.jobs {
 		pj.builder.Recycle(pj.graph)

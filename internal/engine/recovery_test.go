@@ -44,12 +44,12 @@ type durablePhase struct {
 	durable bool
 }
 
-func startDurablePhase(t *testing.T, b *workload.Batch, d *sched.Decision, batchSize int, dir string, ctx context.Context) *durablePhase {
+func startDurablePhase(t *testing.T, b *workload.Batch, d *sched.Decision, batchSize int, dur *Durability, ctx context.Context) *durablePhase {
 	t.Helper()
 	p := &durablePhase{rec: newRunRecord(), durable: true}
 	p.e = New(Config{
 		Threads: 4, Strategy: d, Cleanup: true,
-		Durability: &Durability{Dir: dir, SnapshotEvery: 2},
+		Durability: dur,
 	},
 		WithPunctuationCount(batchSize),
 		WithResultSink(func(r *BatchResult) {
@@ -123,7 +123,8 @@ func TestCrashRecoveryMatchesOracle(t *testing.T) {
 
 				// Phase 1: process the first half, then crash without Close.
 				ctx, cancel := context.WithCancel(context.Background())
-				p1 := startDurablePhase(t, w.batch, d, batchSize, dir, ctx)
+				p1 := startDurablePhase(t, w.batch, d, batchSize,
+					&Durability{Dir: dir, SnapshotEvery: 2}, ctx)
 				p1.ingest(t, specs[:crashEvents])
 				if err := p1.e.Drain(); err != nil {
 					t.Fatalf("phase-1 Drain: %v", err)
@@ -138,7 +139,8 @@ func TestCrashRecoveryMatchesOracle(t *testing.T) {
 				appendTornFrame(t, dir)
 
 				// Phase 2: recover and resume after the last observed batch.
-				p2 := startDurablePhase(t, w.batch, d, batchSize, dir, context.Background())
+				p2 := startDurablePhase(t, w.batch, d, batchSize,
+					&Durability{Dir: dir, SnapshotEvery: 2}, context.Background())
 				if got := p2.e.RecoveredSeq(); got != int64(crashBatches) {
 					t.Fatalf("RecoveredSeq = %d; want %d (torn tail truncated to previous punctuation)", got, crashBatches)
 				}
@@ -181,6 +183,120 @@ func TestCrashRecoveryMatchesOracle(t *testing.T) {
 					}
 				}
 				diffRuns(t, "recovered-vs-oracle", oSnap, oRec, oC, oA,
+					p2.e.Table().Snapshot(), merged, p1.c+p2.c, p1.a+p2.a)
+			})
+		}
+	}
+}
+
+// countSnapshotFiles counts the snap-*.snap files a file-backed sink holds.
+func countSnapshotFiles(t *testing.T, dir string) int {
+	t.Helper()
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(snaps)
+}
+
+// TestCrashRecoveryAcrossDiffChain extends the kill-and-restart property to
+// log-structured snapshot chains: with a checkpoint every punctuation and a
+// diff budget too large to ever rotate, the directory holds a base image plus
+// one incremental diff per batch when the crash hits — and the crash also
+// leaves a torn record after the newest diff. Recovery must walk the whole
+// chain (base via Restore, diffs layered on top), truncate the torn tail to
+// the last durable punctuation, and finish byte-equivalent to the serial
+// oracle's uninterrupted run. The rotate-always control (negative budget)
+// pins the opposite path: every checkpoint a full base, zero diffs replayed.
+func TestCrashRecoveryAcrossDiffChain(t *testing.T) {
+	workloads := []struct {
+		name  string
+		batch *workload.Batch
+	}{
+		{"SL", workload.SL(workload.Config{
+			Txns: 240, StateSize: 64, Theta: 0.6, AbortRatio: 0.1,
+			Seed: 41, Length: 2, MultiRatio: 0.5,
+		})},
+		{"GS", workload.GS(workload.Config{
+			Txns: 240, StateSize: 96, Theta: 0.8, AbortRatio: 0.05,
+			Seed: 42, Length: 1, MultiRatio: 1,
+		})},
+		{"GSND", workload.GSND(workload.GSNDConfig{
+			Config:     workload.Config{Txns: 160, StateSize: 48, Seed: 43},
+			NDAccesses: 16,
+		})},
+	}
+	cases := []struct {
+		name      string
+		budget    float64
+		wantDiffs bool
+	}{
+		{"diff-chain", 1e9, true}, // never rotates: base + one diff per batch
+		{"base-only", -1, false},  // always rotates: every checkpoint a base
+	}
+	const batchSize = 40
+	for _, w := range workloads {
+		oSnap, oRec, oC, oA := runOracle(w.batch)
+		for _, tc := range cases {
+			t.Run(w.name+"/"+tc.name, func(t *testing.T) {
+				dir := t.TempDir()
+				dur := func() *Durability {
+					return &Durability{Dir: dir, SnapshotEvery: 1, SnapshotDiffBudget: tc.budget}
+				}
+				specs := w.batch.Specs
+				crashBatches := len(specs) / batchSize / 2
+				crashEvents := crashBatches * batchSize
+
+				ctx, cancel := context.WithCancel(context.Background())
+				p1 := startDurablePhase(t, w.batch, nil, batchSize, dur(), ctx)
+				p1.ingest(t, specs[:crashEvents])
+				if err := p1.e.Drain(); err != nil {
+					t.Fatalf("phase-1 Drain: %v", err)
+				}
+				cancel()
+				if !p1.durable {
+					t.Fatal("phase-1 delivered a non-durable result")
+				}
+				appendTornFrame(t, dir)
+
+				// The chain's shape on disk is part of the contract: the
+				// baseline base plus one diff per punctuation, or — with
+				// rotation forced — exactly the newest base.
+				if snaps := countSnapshotFiles(t, dir); tc.wantDiffs {
+					if want := crashBatches + 1; snaps != want {
+						t.Fatalf("snapshot files = %d; want %d (base + %d diffs)", snaps, want, crashBatches)
+					}
+				} else if snaps != 1 {
+					t.Fatalf("snapshot files = %d; want 1 (rotation drops superseded bases)", snaps)
+				}
+
+				p2 := startDurablePhase(t, w.batch, nil, batchSize, dur(), context.Background())
+				if got := p2.e.RecoveredSeq(); got != int64(crashBatches) {
+					t.Fatalf("RecoveredSeq = %d; want %d", got, crashBatches)
+				}
+				if diffs := p2.e.RecoveredDiffs(); tc.wantDiffs && diffs != crashBatches {
+					t.Fatalf("RecoveredDiffs = %d; want %d (one per durable batch)", diffs, crashBatches)
+				} else if !tc.wantDiffs && diffs != 0 {
+					t.Fatalf("RecoveredDiffs = %d; want 0 (base-only recovery)", diffs)
+				}
+				p2.ingest(t, specs[crashEvents:])
+				if err := p2.e.Close(); err != nil {
+					t.Fatalf("phase-2 Close: %v", err)
+				}
+				if !p2.durable {
+					t.Fatal("phase-2 delivered a non-durable result")
+				}
+
+				merged := newRunRecord()
+				for _, r := range []*runRecord{p1.rec, p2.rec} {
+					for id, ab := range r.aborted {
+						merged.aborted[id] = ab
+					}
+					for id, vals := range r.results {
+						merged.results[id] = vals
+					}
+				}
+				diffRuns(t, "chain-recovered-vs-oracle", oSnap, oRec, oC, oA,
 					p2.e.Table().Snapshot(), merged, p1.c+p2.c, p1.a+p2.a)
 			})
 		}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 )
 
@@ -113,6 +114,140 @@ func TestLatestSinceShardBucketing(t *testing.T) {
 				t.Errorf("key %q in bucket %d; ShardOf = %d", en.Key, si, want)
 			}
 		}
+	}
+}
+
+// flattenEntries folds shard buckets into a key-indexed map and checks that
+// no key appears twice across buckets.
+func flattenEntries(t *testing.T, label string, shards [][]Entry) map[Key]Entry {
+	t.Helper()
+	out := make(map[Key]Entry)
+	for _, es := range shards {
+		for _, en := range es {
+			if _, dup := out[en.Key]; dup {
+				t.Fatalf("%s: key %q appears in two buckets", label, en.Key)
+			}
+			out[en.Key] = en
+		}
+	}
+	return out
+}
+
+// TestLatestForMatchesLatestSince is the dirty-set equivalence property: for
+// any sequence of batches, LatestFor(dirty, watermark) must equal
+// LatestSince(watermark) — bucket for bucket, entry for entry — whenever
+// dirty covers the batch's written keys. Each randomized batch mixes in the
+// hostile shapes the commit path produces: duplicate dirty ids, ids of keys
+// that were only read (latest version below the watermark), writes rolled
+// back by RemoveID (including a brand-new key whose only version is removed),
+// ND-style keys interned after Align (their ids land past the shard span and
+// clamp into the last shard), and ghost ids never written at all. Runs under
+// several shard alignments, with a mid-run re-Align folding the late keys in.
+func TestLatestForMatchesLatestSince(t *testing.T) {
+	for _, shards := range []int{1, 3, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(9000 + shards)))
+			tb := NewTable()
+			ids := make([]KeyID, 0, 128)
+			for i := 0; i < 128; i++ {
+				id := Intern(fmt.Sprintf("prop-%d-%03d", shards, i))
+				tb.PreloadID(id, int64(i)) // TS 0: below every watermark
+				ids = append(ids, id)
+			}
+			tb.Align(shards, KeyID(tb.DictLen()))
+			ts := uint64(1)
+			for batch := 0; batch < 40; batch++ {
+				if batch == 20 {
+					// Fold the ND keys interned so far into a fresh span.
+					tb.Align(shards, KeyID(tb.DictLen()))
+				}
+				watermark := ts
+				var dirty []KeyID
+				for n := 1 + rng.Intn(12); n > 0; n-- {
+					id := ids[rng.Intn(len(ids))]
+					tb.WriteID(id, ts, int64(rng.Intn(1000)))
+					dirty = append(dirty, id)
+					ts++
+				}
+				for n := rng.Intn(3); n > 0; n-- {
+					// Aborted-then-rolled-back write: net state unchanged,
+					// but the planner still reports the key dirty.
+					id := ids[rng.Intn(len(ids))]
+					tb.WriteID(id, ts, int64(-7))
+					tb.RemoveID(id, ts)
+					dirty = append(dirty, id)
+					ts++
+				}
+				for n := rng.Intn(3); n > 0; n-- {
+					// ND fan-out resolved a fresh key mid-execution: interned
+					// past the aligned span, so it clamps into the last shard.
+					id := Intern(fmt.Sprintf("prop-%d-nd-%d-%d", shards, batch, n))
+					tb.WriteID(id, ts, int64(batch))
+					ids = append(ids, id)
+					dirty = append(dirty, id)
+					ts++
+				}
+				if rng.Intn(4) == 0 {
+					// Aborted insert: the key's only-ever version rolls back,
+					// leaving an empty chain behind a dirty id.
+					id := Intern(fmt.Sprintf("prop-%d-abins-%d", shards, batch))
+					tb.WriteID(id, ts, int64(-8))
+					tb.RemoveID(id, ts)
+					dirty = append(dirty, id)
+					ts++
+				}
+				dirty = append(dirty, dirty...)                // duplicates
+				dirty = append(dirty, ids[rng.Intn(len(ids))]) // read-only id
+				dirty = append(dirty, Intern(fmt.Sprintf("prop-%d-ghost-%d", shards, batch)))
+				rng.Shuffle(len(dirty), func(i, j int) { dirty[i], dirty[j] = dirty[j], dirty[i] })
+
+				got := tb.LatestFor(dirty, watermark)
+				want := tb.LatestSince(watermark)
+				if len(got) != len(want) {
+					t.Fatalf("batch %d: bucket count %d; want %d", batch, len(got), len(want))
+				}
+				gm := flattenEntries(t, "LatestFor", got)
+				wm := flattenEntries(t, "LatestSince", want)
+				for k, wen := range wm {
+					if gen, ok := gm[k]; !ok || gen != wen {
+						t.Errorf("batch %d: LatestFor[%s] = %+v (present %v); want %+v", batch, k, gen, ok, wen)
+					}
+				}
+				if len(gm) != len(wm) {
+					t.Fatalf("batch %d: LatestFor keys = %d; want %d", batch, len(gm), len(wm))
+				}
+				// Bucketing and in-bucket order must be congruent too: the
+				// WAL record's shape is part of the recovery contract.
+				for si := range want {
+					if len(got[si]) != len(want[si]) {
+						t.Fatalf("batch %d shard %d: %d entries; want %d", batch, si, len(got[si]), len(want[si]))
+					}
+					for i := range want[si] {
+						if got[si][i] != want[si][i] {
+							t.Fatalf("batch %d shard %d entry %d: %+v; want %+v", batch, si, i, got[si][i], want[si][i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRestoreDeltaLayersChurn: RestoreDelta applies entries on top of the
+// existing state — untouched keys survive, touched keys advance, and entries
+// for keys the table has never seen are created. The inverse of an
+// incremental snapshot diff.
+func TestRestoreDeltaLayersChurn(t *testing.T) {
+	tb := NewTable()
+	tb.Preload("keep", int64(1))
+	tb.Preload("bump", int64(2))
+	tb.RestoreDelta([][]Entry{
+		{{Key: "bump", TS: 9, Value: int64(20)}},
+		{{Key: "new", TS: 9, Value: int64(30)}},
+	})
+	snap := tb.Snapshot()
+	if len(snap) != 3 || snap["keep"] != int64(1) || snap["bump"] != int64(20) || snap["new"] != int64(30) {
+		t.Fatalf("delta-applied snapshot = %v", snap)
 	}
 }
 

@@ -186,15 +186,20 @@ func newLayout(num int, span KeyID, births *atomic.Int64) *layout {
 	return ly
 }
 
-// of maps a KeyID to its shard. Ids at or beyond span — keys interned after
-// the layout was built — clamp into the last shard, mirroring the
-// executor's shard map.
-func (ly *layout) of(id KeyID) *tableShard {
+// indexOf maps a KeyID to its shard index. Ids at or beyond span — keys
+// interned after the layout was built — clamp into the last shard, mirroring
+// the executor's shard map.
+func (ly *layout) indexOf(id KeyID) int {
 	x := uint64(id)
 	if x >= ly.span {
 		x = ly.span - 1
 	}
-	return &ly.shards[x*uint64(ly.num)/ly.span]
+	return int(x * uint64(ly.num) / ly.span)
+}
+
+// of maps a KeyID to its shard.
+func (ly *layout) of(id KeyID) *tableShard {
+	return &ly.shards[ly.indexOf(id)]
 }
 
 // headerAt returns id's current chain header; nil when the key was never
@@ -924,6 +929,64 @@ func (t *Table) LatestSince(since uint64) [][]Entry {
 	return out
 }
 
+// LatestFor is the dirty-set form of LatestSince: it returns the latest
+// version (with TS >= since) of every key in dirty, bucketed by the table's
+// current shards exactly as LatestSince buckets them, but visits only the
+// dirty chains — O(touched) instead of O(keys). dirty may contain
+// duplicates, ids of keys that were only read, and ids of keys whose writes
+// were rolled back; each shard's bucket is sorted and deduplicated, and a
+// dirty key contributes an entry only when its surviving latest version is
+// at or above since, so the result equals LatestSince(since) whenever dirty
+// covers every key written since (the planner's per-key TPG lists plus the
+// ND keys resolved during execution provide exactly that cover). Same
+// quiescence contract as LatestSince.
+func (t *Table) LatestFor(dirty []KeyID, since uint64) [][]Entry {
+	t.lockAll()
+	defer t.unlockAll()
+	ly := t.layout.Load()
+	out := make([][]Entry, len(ly.shards))
+	if len(dirty) == 0 {
+		return out
+	}
+	buckets := make([][]KeyID, len(ly.shards))
+	for _, id := range dirty {
+		si := ly.indexOf(id)
+		buckets[si] = append(buckets[si], id)
+	}
+	var wg sync.WaitGroup
+	for si := range ly.shards {
+		if len(buckets[si]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			ids := buckets[si]
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			var es []Entry
+			for i, id := range ids {
+				if i > 0 && id == ids[i-1] {
+					continue
+				}
+				vs := ly.chainAt(id)
+				if len(vs) == 0 {
+					continue
+				}
+				if last := vs[len(vs)-1]; last.TS >= since {
+					es = append(es, Entry{
+						Key:   t.dict.Name(id),
+						TS:    last.TS,
+						Value: last.Value,
+					})
+				}
+			}
+			out[si] = es
+		}(si)
+	}
+	wg.Wait()
+	return out
+}
+
 // Restore discards the table's contents and installs the given
 // latest-version-per-key entries (as produced by LatestSince), re-interning
 // keys and rebuilding the shard directories and arenas from scratch — the
@@ -941,6 +1004,35 @@ func (t *Table) Restore(shards [][]Entry) {
 	// become garbage wholesale. Restored keys count as births (the key set
 	// is rebuilt), keeping the engine's universe staleness signal honest.
 	t.layout.Store(newLayout(1, 1, &t.births))
+	var wg sync.WaitGroup
+	for _, es := range shards {
+		if len(es) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(es []Entry) {
+			defer wg.Done()
+			ly := t.layout.Load()
+			for _, en := range es {
+				ly.writeID(t.dict.Intern(en.Key), en.TS, en.Value)
+			}
+		}(es)
+	}
+	wg.Wait()
+}
+
+// RestoreDelta is Restore's incremental-apply mode: it installs the given
+// latest-version-per-key entries on top of the table's existing contents
+// instead of discarding them — the recovery path's inverse of an incremental
+// snapshot diff or a replayed WAL record. Buckets apply in parallel; the
+// producer's shard bucketing guarantees a key appears in at most one bucket,
+// so distinct goroutines mutate distinct chains and the lock-free dense-ID
+// write path stays race-clean. Callers apply deltas in log order (base, then
+// each diff, then each record), so a later delta's version for a key lands
+// on or after the earlier one. Same quiescence contract as Restore.
+func (t *Table) RestoreDelta(shards [][]Entry) {
+	t.lockAll()
+	defer t.unlockAll()
 	var wg sync.WaitGroup
 	for _, es := range shards {
 		if len(es) == 0 {

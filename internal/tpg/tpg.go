@@ -297,6 +297,14 @@ type Graph struct {
 	KeySpan store.KeyID
 	Props   Props
 
+	// NDOps are the batch's non-deterministic operations. Their target
+	// keys are unknown at plan time (an ND write may even create a fresh
+	// key mid-batch), so the engine's durability commit hook walks them at
+	// the punctuation quiescent point — txn.Operation.WrittenID names the
+	// key each committed ND write resolved to — to complete the batch's
+	// dirty set beyond what the per-key lists knew.
+	NDOps []*txn.Operation
+
 	// childBuf/parentBuf are the shared edge backing arrays produced by
 	// linkEdges; Recycle reclaims them for the next Finalize.
 	childBuf, parentBuf []*txn.Operation
@@ -323,6 +331,35 @@ type Props struct {
 	// MultiAccessRatio approximates r: the share of operations computing
 	// from more than one source state.
 	MultiAccessRatio float64
+}
+
+// AppendDirtyKeys appends the id of every key the batch under construction
+// touches — the keys with at least one per-key-list entry, i.e. every
+// operation target and every parametric source — and returns the extended
+// slice. The durability layer uses it as the batch's dirty set: the WAL
+// commit sweep visits only these chains instead of the whole table. The set
+// is a superset of the keys actually written (read-only targets and sources
+// are included; the sweep's timestamp filter drops them), and it misses
+// only keys resolved at execution time by ND operations, which the engine
+// harvests separately from Graph.NDOps.
+//
+// Call it after the batch's transactions are added and before Finalize: the
+// ND fan-out inserts a virtual entry into every known key list, which would
+// inflate the dirty set back to the whole key universe.
+func (b *Builder) AppendDirtyKeys(dst []store.KeyID) []store.KeyID {
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.Lock()
+		for id, l := range s.m {
+			// A reused builder keeps empty lists of earlier batches; only
+			// lists touched this batch are dirty.
+			if len(l.entries) > 0 {
+				dst = append(dst, id)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return dst
 }
 
 // Finalize sorts the key lists and derives TD and PD edges (transaction
@@ -383,7 +420,7 @@ func (b *Builder) Finalize(workers int) *Graph {
 		fusedOps, fusedAway = b.fuseShards(workers)
 	}
 
-	g := &Graph{Txns: b.txns}
+	g := &Graph{Txns: b.txns, NDOps: b.ndOps}
 	g.Props.NumTxns = len(b.txns)
 	g.Props.NumOps = b.numOps
 	g.Props.NumLD = b.numLD
@@ -730,6 +767,7 @@ func (b *Builder) Recycle(g *Graph) {
 	b.poolParent = clearCap(g.parentBuf)
 	b.mu.Unlock()
 	g.Txns, g.Ops, g.Chains, g.childBuf, g.parentBuf = nil, nil, nil, nil, nil
+	g.NDOps = nil
 }
 
 // entryBefore orders key-list entries by the operations' (ts, id) order.

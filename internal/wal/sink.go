@@ -1,7 +1,9 @@
 package wal
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -176,6 +178,12 @@ func (s *FileSink) ReadSegment(firstSeq int64) ([]byte, error) {
 	return os.ReadFile(filepath.Join(s.dir, segName(firstSeq)))
 }
 
+// OpenSegment streams one segment — recovery reads frames straight off the
+// file, so replay memory is bounded by a single record.
+func (s *FileSink) OpenSegment(firstSeq int64) (io.ReadCloser, error) {
+	return os.Open(filepath.Join(s.dir, segName(firstSeq)))
+}
+
 func (s *FileSink) TruncateSegment(firstSeq int64, size int64) error {
 	if err := os.Truncate(filepath.Join(s.dir, segName(firstSeq)), size); err != nil {
 		return err
@@ -302,6 +310,15 @@ func (s *MemSink) ReadSegment(firstSeq int64) ([]byte, error) {
 		return nil, os.ErrNotExist
 	}
 	return append([]byte(nil), b...), nil
+}
+
+// OpenSegment streams one segment from a stable copy of its bytes.
+func (s *MemSink) OpenSegment(firstSeq int64) (io.ReadCloser, error) {
+	b, err := s.ReadSegment(firstSeq)
+	if err != nil {
+		return nil, err
+	}
+	return io.NopCloser(bytes.NewReader(b)), nil
 }
 
 func (s *MemSink) TruncateSegment(firstSeq int64, size int64) error {

@@ -11,19 +11,45 @@
 // Layout on the sink:
 //
 //	wal-%016d.log    segment of frames, named by its first record's Seq
-//	snap-%016d.snap  full-table snapshot covering everything through Seq
+//	snap-%016d.snap  snapshot covering everything through Seq: either a
+//	                 full-table base or an incremental diff chained onto
+//	                 the previous snapshot
 //
 // Each frame is [4B LE payload len][4B CRC-32C of payload][gob payload],
 // encoded with a fresh gob encoder so every frame is self-contained and
 // replay can resume from any record boundary. Snapshots hold a header frame
 // followed by one frame per table shard, encoded shard-parallel.
 //
-// Recovery loads the newest decodable snapshot, replays every record with
-// Seq above the snapshot watermark (records at or below it are skipped —
-// batch-Seq idempotence), and repairs a torn tail: a crash mid-append leaves
-// a short or checksum-failing frame at the end of the last segment, which is
-// truncated away so the log recovers to the previous punctuation. A bad
-// frame anywhere else is real corruption and fails recovery loudly.
+// # Log-structured snapshots
+//
+// Snapshots form chains: a base (full-table image) followed by incremental
+// diffs, each diff carrying only the keys changed since the previous link
+// and naming that link through its header's Parent field. A diff costs
+// bytes proportional to churn, not table size, so the engine can checkpoint
+// frequently; the chain is rotated — a fresh base written and everything
+// older dropped — once the accumulated diff payload crosses a fraction
+// (Options.DiffBudget) of the base's size, or the chain grows past
+// Options.MaxDiffChain links. Every snapshot, base or diff, truncates the
+// record log behind it: records at or below the chain tip are covered by
+// base + diffs.
+//
+// # Streaming recovery
+//
+// Open locates the newest snapshot chain whose every link is readable and
+// returns a Recovery whose contents stream instead of materialising:
+// NextSnapshot yields the chain's shard images oldest-first (the base, to
+// apply with store.Table.Restore, then each diff for RestoreDelta), and
+// Next yields replay records one at a time, decoding each frame as it is
+// consumed so recovery memory is bounded by a single record rather than the
+// full replay history. Records at or below the chain tip are skipped —
+// batch-Seq idempotence — and a torn tail is repaired: a crash mid-append
+// leaves a short or checksum-failing frame at the end of the last segment,
+// which is truncated away so the log recovers to the previous punctuation.
+// A bad frame anywhere else is real corruption and Next fails loudly with
+// ErrCorrupt. Draining Next (to its io.EOF) finalises recovery: the torn
+// tail is cut, a fresh segment starts at LastSeq+1, and the Log accepts
+// appends; Append or Snapshot before the drain completes returns
+// ErrReplaying.
 package wal
 
 import (
@@ -33,6 +59,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"sync"
 
 	"morphstream/internal/store"
@@ -77,11 +104,30 @@ func (p SyncPolicy) String() string {
 	return "?"
 }
 
+// DefaultDiffBudget is the base-rewrite threshold when Options leaves
+// DiffBudget unset: the chain rotates once its accumulated diff payload
+// reaches half the base snapshot's size (past that point replaying diffs
+// costs more than a fresh base would).
+const DefaultDiffBudget = 0.5
+
+// DefaultMaxDiffChain caps the number of diffs stacked on one base when
+// Options leaves MaxDiffChain unset, bounding the recovery chain walk.
+const DefaultMaxDiffChain = 16
+
 // Options tune a Log opened over a Sink.
 type Options struct {
 	Policy SyncPolicy
 	// SyncEvery is the fsync stride under SyncInterval (min 1).
 	SyncEvery int
+	// DiffBudget rotates the snapshot chain (rewrites the base) once the
+	// accumulated diff payload bytes reach DiffBudget × the base payload
+	// size. 0 uses DefaultDiffBudget; negative disables incremental diffs
+	// entirely (WantBase is always true — every snapshot is a full base,
+	// the pre-chain behaviour).
+	DiffBudget float64
+	// MaxDiffChain caps the diffs stacked on one base regardless of size.
+	// 0 uses DefaultMaxDiffChain.
+	MaxDiffChain int
 }
 
 // ErrCorrupt reports an undecodable frame before the tail of the last
@@ -92,28 +138,14 @@ var ErrCorrupt = errors.New("wal: corrupt record before log tail")
 // ErrSeqOrder reports an append whose Seq does not advance the log.
 var ErrSeqOrder = errors.New("wal: non-monotonic batch sequence")
 
-// Recovery is everything Open reconstructed from the sink.
-type Recovery struct {
-	// HasSnapshot reports whether a snapshot was loaded; when false the
-	// sink was fresh (or held only records) and Snapshot is nil.
-	HasSnapshot bool
-	// SnapshotSeq is the batch watermark the snapshot covers (-1 if none).
-	SnapshotSeq int64
-	// Snapshot is the restored per-shard table image.
-	Snapshot [][]store.Entry
-	// Records are the replayable deltas above the snapshot, in Seq order.
-	Records []Record
-	// LastSeq is the highest durable batch sequence (0 for a fresh log).
-	LastSeq int64
-	// MaxTS is the highest timestamp across snapshot and records.
-	MaxTS uint64
-	// TornTail reports that the last segment ended in a torn frame that
-	// was truncated away.
-	TornTail bool
-	// Skipped counts records dropped for Seq idempotence (at or below the
-	// snapshot watermark, or not advancing the replay sequence).
-	Skipped int
-}
+// ErrReplaying reports an Append or Snapshot issued before recovery was
+// drained: the log's tail position is only known once Recovery.Next has
+// streamed to io.EOF.
+var ErrReplaying = errors.New("wal: log not writable until recovery is drained")
+
+// ErrNoBase reports a SnapshotDiff on a log with no base snapshot to chain
+// onto; callers consult WantBase first.
+var ErrNoBase = errors.New("wal: incremental snapshot without a base")
 
 // Log is a single-writer WAL. The engine appends from its executor goroutine
 // at punctuation boundaries; Close may be called afterwards from another
@@ -123,10 +155,20 @@ type Log struct {
 	policy    SyncPolicy
 	syncEvery int
 	unsynced  int
+	ready     bool
 	lastSeq   int64
 	snapSeq   int64
 	maxTS     uint64
 	encBuf    bytes.Buffer
+
+	// Snapshot-chain accounting: the current base's seq and payload size,
+	// and the diff payload bytes and link count accumulated on top of it.
+	diffBudget float64
+	maxChain   int
+	baseSeq    int64
+	baseBytes  int64
+	chainBytes int64
+	chainLen   int
 }
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -175,13 +217,22 @@ func readFrame(data []byte) (payload []byte, n int, err error) {
 	return payload, 8 + size, nil
 }
 
+const (
+	snapBase = 0 // full-table image, the root of a chain
+	snapDiff = 1 // churn since the previous chain link
+)
+
 type snapHeader struct {
-	Seq    int64
-	MaxTS  uint64
+	Seq   int64
+	MaxTS uint64
+	// Kind is snapBase or snapDiff.
+	Kind int
+	// Parent is the Seq of the previous chain link (-1 for a base).
+	Parent int64
 	Shards int
 }
 
-func encodeSnapshot(seq int64, maxTS uint64, shards [][]store.Entry) ([]byte, error) {
+func encodeSnapshot(hdr snapHeader, shards [][]store.Entry) ([]byte, error) {
 	bufs := make([][]byte, len(shards))
 	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
@@ -200,8 +251,9 @@ func encodeSnapshot(seq int64, maxTS uint64, shards [][]store.Entry) ([]byte, er
 			return nil, err
 		}
 	}
+	hdr.Shards = len(shards)
 	var hb, out bytes.Buffer
-	if err := gob.NewEncoder(&hb).Encode(snapHeader{Seq: seq, MaxTS: maxTS, Shards: len(shards)}); err != nil {
+	if err := gob.NewEncoder(&hb).Encode(hdr); err != nil {
 		return nil, err
 	}
 	writeFrame(&out, hb.Bytes())
@@ -211,22 +263,40 @@ func encodeSnapshot(seq int64, maxTS uint64, shards [][]store.Entry) ([]byte, er
 	return out.Bytes(), nil
 }
 
-func decodeSnapshot(payload []byte) (snapHeader, [][]store.Entry, error) {
+// verifySnapshot decodes a snapshot's header and checks every shard frame's
+// checksum without decoding the shard payloads — the cheap "is this link
+// usable" probe the chain walk runs before recovery commits to a chain.
+func verifySnapshot(payload []byte) (snapHeader, error) {
 	var hdr snapHeader
 	hp, n, err := readFrame(payload)
 	if err != nil {
-		return hdr, nil, err
+		return hdr, err
 	}
 	if err := gob.NewDecoder(bytes.NewReader(hp)).Decode(&hdr); err != nil {
-		return hdr, nil, err
+		return hdr, err
 	}
-	raw := make([][]byte, hdr.Shards)
 	off := n
 	for i := 0; i < hdr.Shards; i++ {
-		sp, sn, err := readFrame(payload[off:])
+		_, sn, err := readFrame(payload[off:])
 		if err != nil {
-			return hdr, nil, err
+			return hdr, fmt.Errorf("wal: snapshot shard %d: %w", i, err)
 		}
+		off += sn
+	}
+	return hdr, nil
+}
+
+// decodeSnapshotShards decodes a verified snapshot's shard images,
+// shard-parallel.
+func decodeSnapshotShards(payload []byte) ([][]store.Entry, error) {
+	hdr, err := verifySnapshot(payload)
+	if err != nil {
+		return nil, err
+	}
+	_, off, _ := readFrame(payload)
+	raw := make([][]byte, hdr.Shards)
+	for i := 0; i < hdr.Shards; i++ {
+		sp, sn, _ := readFrame(payload[off:])
 		raw[i], off = sp, off+sn
 	}
 	shards := make([][]store.Entry, hdr.Shards)
@@ -242,105 +312,319 @@ func decodeSnapshot(payload []byte) (snapHeader, [][]store.Entry, error) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return hdr, nil, err
+			return nil, err
 		}
 	}
-	return hdr, shards, nil
+	return shards, nil
 }
 
-// Open recovers the log state from the sink and readies it for appends: the
-// newest decodable snapshot is loaded, remaining records are replayed with
-// Seq idempotence, a torn tail is truncated, and a fresh segment is started
-// at LastSeq+1 so post-recovery appends never interleave with history.
+// Recovery streams everything Open reconstructed from the sink. Consume it
+// in two passes: NextSnapshot until io.EOF (the snapshot chain, base first),
+// then Next until io.EOF (the replay records above the chain tip). LastSeq,
+// MaxTS, TornTail and Skipped are complete only once Next has returned
+// io.EOF, which also makes the Log writable.
+type Recovery struct {
+	// HasSnapshot reports whether a snapshot chain was found; when false
+	// the sink was fresh (or held only records) and NextSnapshot returns
+	// io.EOF immediately.
+	HasSnapshot bool
+	// SnapshotSeq is the batch watermark the chain tip covers (-1 if none).
+	SnapshotSeq int64
+	// BaseSeq is the chain's base snapshot sequence (-1 if none).
+	BaseSeq int64
+	// SnapshotMaxTS is the chain tip's highest timestamp: the engine seeds
+	// its incremental-snapshot watermark from it, so the first diff after
+	// recovery covers exactly the state the chain does not.
+	SnapshotMaxTS uint64
+	// Diffs counts the incremental links in the recovered chain.
+	Diffs int
+	// LastSeq is the highest durable batch sequence (0 for a fresh log).
+	LastSeq int64
+	// MaxTS is the highest timestamp across snapshot chain and records.
+	MaxTS uint64
+	// TornTail reports that the last segment ended in a torn frame that
+	// was truncated away.
+	TornTail bool
+	// Skipped counts records dropped for Seq idempotence (at or below the
+	// chain tip, or not advancing the replay sequence).
+	Skipped int
+
+	log *Log
+
+	// Snapshot chain: verified payloads oldest-first, decoded lazily and
+	// released as NextSnapshot hands them out.
+	chain    [][]byte
+	chainIdx int
+
+	// Record stream state.
+	segs    []int64
+	segIdx  int
+	cur     io.ReadCloser
+	curSeg  int64
+	off     int64
+	payload []byte
+	done    bool
+}
+
+// segmentOpener is the optional streaming extension of Sink: a sink that can
+// hand out a segment reader lets recovery consume frames without ever
+// holding a whole segment in memory. Sinks without it fall back to
+// ReadSegment.
+type segmentOpener interface {
+	OpenSegment(firstSeq int64) (io.ReadCloser, error)
+}
+
+// openSegmentStream returns a reader over one segment, streaming when the
+// sink supports it.
+func openSegmentStream(sink Sink, firstSeq int64) (io.ReadCloser, error) {
+	if so, ok := sink.(segmentOpener); ok {
+		return so.OpenSegment(firstSeq)
+	}
+	data, err := sink.ReadSegment(firstSeq)
+	if err != nil {
+		return nil, err
+	}
+	return io.NopCloser(bytes.NewReader(data)), nil
+}
+
+// loadChain assembles the snapshot chain ending at tip: it follows Parent
+// links back to a base, verifying every link's frames, and returns the
+// payloads oldest-first. Any unreadable or unverifiable link fails the
+// whole chain.
+func loadChain(sink Sink, tip int64) ([][]byte, []snapHeader, error) {
+	var payloads [][]byte
+	var hdrs []snapHeader
+	seq := tip
+	for {
+		payload, err := sink.ReadSnapshot(seq)
+		if err != nil {
+			return nil, nil, err
+		}
+		hdr, err := verifySnapshot(payload)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: snapshot %d: %w", seq, err)
+		}
+		payloads = append([][]byte{payload}, payloads...)
+		hdrs = append([]snapHeader{hdr}, hdrs...)
+		if hdr.Kind == snapBase {
+			return payloads, hdrs, nil
+		}
+		if hdr.Parent < 0 || hdr.Parent >= seq {
+			return nil, nil, fmt.Errorf("wal: snapshot %d: bad parent %d", seq, hdr.Parent)
+		}
+		seq = hdr.Parent
+	}
+}
+
+// Open recovers the log state from the sink: the newest snapshot chain whose
+// every link verifies is selected, and the returned Recovery streams first
+// the chain (NextSnapshot) and then the replay records (Next). The Log
+// becomes writable once Next has been drained to io.EOF — that drain is what
+// repairs a torn tail and starts the post-recovery segment, so appends never
+// interleave with history.
 func Open(sink Sink, opts Options) (*Log, *Recovery, error) {
 	if opts.SyncEvery < 1 {
 		opts.SyncEvery = 1
 	}
-	rec := &Recovery{SnapshotSeq: -1}
+	budget := opts.DiffBudget
+	if budget == 0 {
+		budget = DefaultDiffBudget
+	}
+	maxChain := opts.MaxDiffChain
+	if maxChain <= 0 {
+		maxChain = DefaultMaxDiffChain
+	}
+	l := &Log{
+		sink:       sink,
+		policy:     opts.Policy,
+		syncEvery:  opts.SyncEvery,
+		diffBudget: budget,
+		maxChain:   maxChain,
+		baseSeq:    -1,
+	}
+	rec := &Recovery{SnapshotSeq: -1, BaseSeq: -1, log: l}
 
 	snaps, err := sink.Snapshots()
 	if err != nil {
 		return nil, nil, err
 	}
 	for i := len(snaps) - 1; i >= 0; i-- {
-		payload, rerr := sink.ReadSnapshot(snaps[i])
-		if rerr != nil {
-			err = rerr
+		payloads, hdrs, lerr := loadChain(sink, snaps[i])
+		if lerr != nil {
+			err = lerr
 			continue
 		}
-		hdr, shards, derr := decodeSnapshot(payload)
-		if derr != nil {
-			err = fmt.Errorf("wal: snapshot %d: %w", snaps[i], derr)
-			continue
-		}
+		tip := hdrs[len(hdrs)-1]
 		rec.HasSnapshot = true
-		rec.SnapshotSeq = hdr.Seq
-		rec.Snapshot = shards
-		rec.LastSeq = hdr.Seq
-		rec.MaxTS = hdr.MaxTS
+		rec.SnapshotSeq = tip.Seq
+		rec.BaseSeq = hdrs[0].Seq
+		rec.SnapshotMaxTS = tip.MaxTS
+		rec.Diffs = len(hdrs) - 1
+		rec.chain = payloads
+		rec.LastSeq = tip.Seq
+		rec.MaxTS = tip.MaxTS
+		l.baseSeq = hdrs[0].Seq
+		l.baseBytes = int64(len(payloads[0]))
+		for _, p := range payloads[1:] {
+			l.chainBytes += int64(len(p))
+		}
+		l.chainLen = len(hdrs) - 1
+		err = nil
 		break
 	}
 	if !rec.HasSnapshot && err != nil {
 		return nil, nil, err
 	}
 
-	segs, err := sink.Segments()
-	if err != nil {
+	if rec.segs, err = sink.Segments(); err != nil {
 		return nil, nil, err
 	}
-replay:
-	for si, seg := range segs {
-		data, err := sink.ReadSegment(seg)
-		if err != nil {
-			return nil, nil, err
+	l.snapSeq = rec.SnapshotSeq
+	l.maxTS = rec.MaxTS
+	return l, rec, nil
+}
+
+// NextSnapshot returns the next link of the snapshot chain, oldest first:
+// the base image (apply with store.Table.Restore) followed by each
+// incremental diff (apply with store.Table.RestoreDelta). io.EOF ends the
+// chain. Decoded links are released as they are handed out, so peak memory
+// is one link plus the table being rebuilt.
+func (r *Recovery) NextSnapshot() ([][]store.Entry, error) {
+	if r.chainIdx >= len(r.chain) {
+		return nil, io.EOF
+	}
+	payload := r.chain[r.chainIdx]
+	r.chain[r.chainIdx] = nil
+	r.chainIdx++
+	return decodeSnapshotShards(payload)
+}
+
+// Next returns the next replay record, decoding one frame at a time straight
+// off the sink so recovery never materialises the replay history. Records at
+// or below the recovered watermark are skipped (batch-Seq idempotence). A
+// torn tail — a short or checksum-failing frame at the end of the last
+// segment — is truncated away; the same damage anywhere else returns
+// ErrCorrupt. io.EOF reports a drained log and finalises it: the fresh
+// post-recovery segment is started and the Log accepts appends.
+func (r *Recovery) Next() (Record, error) {
+	if r.done {
+		return Record{}, io.EOF
+	}
+	for {
+		if r.cur == nil {
+			if r.segIdx >= len(r.segs) {
+				return Record{}, r.finish(false)
+			}
+			r.curSeg = r.segs[r.segIdx]
+			r.segIdx++
+			r.off = 0
+			cur, err := openSegmentStream(r.log.sink, r.curSeg)
+			if err != nil {
+				return Record{}, err
+			}
+			r.cur = cur
 		}
-		off := 0
-		for off < len(data) {
-			payload, n, ferr := readFrame(data[off:])
-			var r Record
-			if ferr == nil {
-				ferr = gob.NewDecoder(bytes.NewReader(payload)).Decode(&r)
-			}
-			if ferr != nil {
-				if si != len(segs)-1 {
-					return nil, nil, fmt.Errorf("%w: segment %d offset %d: %v", ErrCorrupt, seg, off, ferr)
-				}
-				if terr := sink.TruncateSegment(seg, int64(off)); terr != nil {
-					return nil, nil, terr
-				}
-				rec.TornTail = true
-				break replay
-			}
-			off += n
-			if r.Seq <= rec.LastSeq {
-				rec.Skipped++
+		var hdr [8]byte
+		if _, err := io.ReadFull(r.cur, hdr[:]); err != nil {
+			if err == io.EOF { // clean segment boundary
+				r.cur.Close()
+				r.cur = nil
 				continue
 			}
-			rec.Records = append(rec.Records, r)
-			rec.LastSeq = r.Seq
-			if r.MaxTS > rec.MaxTS {
-				rec.MaxTS = r.MaxTS
-			}
+			return r.tornOrCorrupt(fmt.Errorf("wal: short frame header: %v", err))
+		}
+		size := int(binary.LittleEndian.Uint32(hdr[0:4]))
+		if cap(r.payload) < size {
+			r.payload = make([]byte, size)
+		}
+		payload := r.payload[:size]
+		if _, err := io.ReadFull(r.cur, payload); err != nil {
+			return r.tornOrCorrupt(fmt.Errorf("wal: short frame payload: %v", err))
+		}
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(hdr[4:8]) {
+			return r.tornOrCorrupt(errors.New("wal: frame checksum mismatch"))
+		}
+		var rcd Record
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rcd); err != nil {
+			return r.tornOrCorrupt(fmt.Errorf("wal: record decode: %v", err))
+		}
+		r.off += int64(8 + size)
+		if rcd.Seq <= r.LastSeq {
+			r.Skipped++
+			continue
+		}
+		r.LastSeq = rcd.Seq
+		if rcd.MaxTS > r.MaxTS {
+			r.MaxTS = rcd.MaxTS
+		}
+		return rcd, nil
+	}
+}
+
+// Drain consumes whatever remains of the recovery — snapshot links and
+// replay records alike — without handing them to the caller, leaving the Log
+// writable. For callers that open a sink they know is fresh (benchmarks,
+// tests) or that intentionally discard history; recovery proper applies the
+// chain and records through NextSnapshot and Next instead.
+func (r *Recovery) Drain() error {
+	for {
+		if _, err := r.NextSnapshot(); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
 		}
 	}
+	for {
+		if _, err := r.Next(); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return err
+		}
+	}
+}
 
-	if err := sink.StartSegment(rec.LastSeq + 1); err != nil {
-		return nil, nil, err
+// tornOrCorrupt resolves a frame failure: in the last segment it is a torn
+// tail (truncate, finish), anywhere earlier it is corruption.
+func (r *Recovery) tornOrCorrupt(cause error) (Record, error) {
+	r.cur.Close()
+	r.cur = nil
+	if r.segIdx != len(r.segs) {
+		return Record{}, fmt.Errorf("%w: segment %d offset %d: %v", ErrCorrupt, r.curSeg, r.off, cause)
 	}
-	l := &Log{
-		sink:      sink,
-		policy:    opts.Policy,
-		syncEvery: opts.SyncEvery,
-		lastSeq:   rec.LastSeq,
-		snapSeq:   rec.SnapshotSeq,
-		maxTS:     rec.MaxTS,
+	if err := r.log.sink.TruncateSegment(r.curSeg, r.off); err != nil {
+		return Record{}, err
 	}
-	return l, rec, nil
+	r.TornTail = true
+	return Record{}, r.finish(true)
+}
+
+// finish completes recovery: the post-recovery segment starts at LastSeq+1
+// and the Log becomes writable. Returns io.EOF on success so Next callers
+// see a normal end of stream.
+func (r *Recovery) finish(closedCur bool) error {
+	if !closedCur && r.cur != nil {
+		r.cur.Close()
+		r.cur = nil
+	}
+	r.done = true
+	r.payload = nil
+	if err := r.log.sink.StartSegment(r.LastSeq + 1); err != nil {
+		return err
+	}
+	r.log.lastSeq = r.LastSeq
+	if r.MaxTS > r.log.maxTS {
+		r.log.maxTS = r.MaxTS
+	}
+	r.log.ready = true
+	return io.EOF
 }
 
 // Append logs one punctuation record and applies the sync policy. On return
 // under SyncPunctuation the record is durable.
 func (l *Log) Append(r Record) error {
+	if !l.ready {
+		return ErrReplaying
+	}
 	if r.Seq <= l.lastSeq {
 		return fmt.Errorf("%w: append seq %d, last %d", ErrSeqOrder, r.Seq, l.lastSeq)
 	}
@@ -370,19 +654,82 @@ func (l *Log) Append(r Record) error {
 	return nil
 }
 
-// Snapshot persists a full-table image covering everything through seq, then
-// rotates: a fresh segment starts at seq+1, and segments and snapshots behind
-// the new watermark are dropped. Crash-safe at every step — the snapshot is
-// made durable before any history is discarded.
+// WantBase reports whether the next snapshot should be a full base rather
+// than an incremental diff: there is no base yet, the accumulated diff
+// payload has crossed the budget fraction of the base's size, or the chain
+// is at its length cap. The caller materialises accordingly — a full-table
+// sweep for Snapshot, a dirty-set sweep for SnapshotDiff.
+func (l *Log) WantBase() bool {
+	if l.baseSeq < 0 || l.chainLen >= l.maxChain {
+		return true
+	}
+	if l.diffBudget < 0 {
+		return true
+	}
+	return float64(l.chainBytes) >= l.diffBudget*float64(l.baseBytes)
+}
+
+// Snapshot persists a full-table base image covering everything through seq,
+// then rotates: a fresh segment starts at seq+1, and segments and snapshots
+// behind the new watermark are dropped. Crash-safe at every step — the
+// snapshot is made durable before any history is discarded.
 func (l *Log) Snapshot(seq int64, maxTS uint64, shards [][]store.Entry) error {
+	if !l.ready {
+		return ErrReplaying
+	}
 	if seq < l.snapSeq {
 		return fmt.Errorf("%w: snapshot seq %d, previous %d", ErrSeqOrder, seq, l.snapSeq)
 	}
-	payload, err := encodeSnapshot(seq, maxTS, shards)
+	payload, err := encodeSnapshot(snapHeader{Seq: seq, MaxTS: maxTS, Kind: snapBase, Parent: -1}, shards)
 	if err != nil {
 		return err
 	}
-	if err := l.sink.Sync(); err != nil { // frames for seq itself must land first
+	if err := l.writeAndRotate(seq, payload, seq); err != nil {
+		return err
+	}
+	l.baseSeq = seq
+	l.baseBytes = int64(len(payload))
+	l.chainBytes = 0
+	l.chainLen = 0
+	l.snapSeq = seq
+	return nil
+}
+
+// SnapshotDiff persists an incremental snapshot: the given shards carry only
+// the keys changed since the chain tip (the previous Snapshot or
+// SnapshotDiff), and the new link chains onto it. Like a base it truncates
+// the record log behind seq — base + diffs cover those records — but drops
+// no snapshots above the base, so recovery can still walk the chain.
+func (l *Log) SnapshotDiff(seq int64, maxTS uint64, shards [][]store.Entry) error {
+	if !l.ready {
+		return ErrReplaying
+	}
+	if l.baseSeq < 0 {
+		return ErrNoBase
+	}
+	if seq <= l.snapSeq {
+		return fmt.Errorf("%w: diff snapshot seq %d, previous %d", ErrSeqOrder, seq, l.snapSeq)
+	}
+	payload, err := encodeSnapshot(snapHeader{Seq: seq, MaxTS: maxTS, Kind: snapDiff, Parent: l.snapSeq}, shards)
+	if err != nil {
+		return err
+	}
+	if err := l.writeAndRotate(seq, payload, l.baseSeq); err != nil {
+		return err
+	}
+	l.chainBytes += int64(len(payload))
+	l.chainLen++
+	l.snapSeq = seq
+	return nil
+}
+
+// writeAndRotate is the shared crash-safe snapshot commit: pending record
+// frames for seq itself are made durable first, the snapshot lands
+// atomically, and only then is history truncated — segments behind seq+1
+// and snapshots below keepSnaps (the new base for a rotation, the existing
+// base for a diff).
+func (l *Log) writeAndRotate(seq int64, payload []byte, keepSnaps int64) error {
+	if err := l.sink.Sync(); err != nil {
 		return err
 	}
 	if err := l.sink.WriteSnapshot(seq, payload); err != nil {
@@ -394,11 +741,7 @@ func (l *Log) Snapshot(seq int64, maxTS uint64, shards [][]store.Entry) error {
 	if err := l.sink.DropSegmentsBelow(seq + 1); err != nil {
 		return err
 	}
-	if err := l.sink.DropSnapshotsBelow(seq); err != nil {
-		return err
-	}
-	l.snapSeq = seq
-	return nil
+	return l.sink.DropSnapshotsBelow(keepSnaps)
 }
 
 // Sync forces an fsync regardless of policy.
@@ -407,8 +750,15 @@ func (l *Log) Sync() error { return l.sink.Sync() }
 // LastSeq returns the highest batch sequence appended or recovered.
 func (l *Log) LastSeq() int64 { return l.lastSeq }
 
-// SnapshotSeq returns the current snapshot watermark (-1 if none).
+// SnapshotSeq returns the current snapshot watermark — the chain tip's
+// sequence (-1 if none).
 func (l *Log) SnapshotSeq() int64 { return l.snapSeq }
+
+// BaseSeq returns the current base snapshot's sequence (-1 if none).
+func (l *Log) BaseSeq() int64 { return l.baseSeq }
+
+// ChainLen returns the number of incremental diffs stacked on the base.
+func (l *Log) ChainLen() int { return l.chainLen }
 
 // MaxTS returns the highest timestamp appended or recovered.
 func (l *Log) MaxTS() uint64 { return l.maxTS }

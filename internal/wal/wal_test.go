@@ -3,6 +3,7 @@ package wal
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -18,13 +19,54 @@ func entry(k string, ts uint64, v int64) store.Entry {
 	return store.Entry{Key: k, TS: ts, Value: v}
 }
 
-func openFresh(t *testing.T, sink Sink, opts Options) (*Log, *Recovery) {
+// drained is a Recovery streamed to completion: the snapshot chain links
+// (oldest first) and the replay records, materialised for assertions.
+type drained struct {
+	chain   [][][]store.Entry
+	records []Record
+}
+
+func drainE(r *Recovery) (drained, error) {
+	var d drained
+	for {
+		shards, err := r.NextSnapshot()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return d, err
+		}
+		d.chain = append(d.chain, shards)
+	}
+	for {
+		rcd, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return d, err
+		}
+		d.records = append(d.records, rcd)
+	}
+	return d, nil
+}
+
+func drain(t *testing.T, r *Recovery) drained {
+	t.Helper()
+	d, err := drainE(r)
+	if err != nil {
+		t.Fatalf("drain recovery: %v", err)
+	}
+	return d
+}
+
+func openFresh(t *testing.T, sink Sink, opts Options) (*Log, *Recovery, drained) {
 	t.Helper()
 	l, r, err := Open(sink, opts)
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
-	return l, r
+	return l, r, drain(t, r)
 }
 
 // sinks runs a subtest against both backends.
@@ -46,7 +88,7 @@ func sinks(t *testing.T, f func(t *testing.T, mk func(t *testing.T) Sink)) {
 // reopen closes nothing (simulating a crash) and opens a fresh Log over the
 // same backing store. For FileSink a new sink over the same dir is built so
 // no in-process buffers leak across the "restart".
-func reopen(t *testing.T, s Sink, opts Options) (*Log, *Recovery) {
+func reopen(t *testing.T, s Sink, opts Options) (*Log, *Recovery, drained) {
 	t.Helper()
 	if fs, ok := s.(*FileSink); ok {
 		ns, err := NewFileSink(fs.Dir())
@@ -61,8 +103,8 @@ func reopen(t *testing.T, s Sink, opts Options) (*Log, *Recovery) {
 func TestAppendReplayRoundtrip(t *testing.T) {
 	sinks(t, func(t *testing.T, mk func(t *testing.T) Sink) {
 		s := mk(t)
-		l, r := openFresh(t, s, Options{})
-		if r.HasSnapshot || r.LastSeq != 0 || len(r.Records) != 0 {
+		l, r, d := openFresh(t, s, Options{})
+		if r.HasSnapshot || r.LastSeq != 0 || len(d.records) != 0 {
 			t.Fatalf("fresh recovery = %+v", r)
 		}
 		for i := int64(1); i <= 5; i++ {
@@ -77,11 +119,11 @@ func TestAppendReplayRoundtrip(t *testing.T) {
 			t.Fatal(err)
 		}
 
-		_, r2 := reopen(t, s, Options{})
-		if r2.LastSeq != 5 || len(r2.Records) != 5 || r2.MaxTS != 50 || r2.TornTail {
-			t.Fatalf("recovery = LastSeq %d Records %d MaxTS %d Torn %v", r2.LastSeq, len(r2.Records), r2.MaxTS, r2.TornTail)
+		_, r2, d2 := reopen(t, s, Options{})
+		if r2.LastSeq != 5 || len(d2.records) != 5 || r2.MaxTS != 50 || r2.TornTail {
+			t.Fatalf("recovery = LastSeq %d Records %d MaxTS %d Torn %v", r2.LastSeq, len(d2.records), r2.MaxTS, r2.TornTail)
 		}
-		for i, rr := range r2.Records {
+		for i, rr := range d2.records {
 			if rr.Seq != int64(i+1) {
 				t.Fatalf("record %d Seq = %d", i, rr.Seq)
 			}
@@ -95,8 +137,32 @@ func TestAppendReplayRoundtrip(t *testing.T) {
 	})
 }
 
+// TestReplayingGate: the log refuses writes until recovery is drained — the
+// tail position (and torn-tail repair) is only known after the stream ends.
+func TestReplayingGate(t *testing.T) {
+	s := NewMemSink()
+	l, _, _ := openFresh(t, s, Options{})
+	if err := l.Append(rec(1, 1, entry("k", 1, 1))); err != nil {
+		t.Fatal(err)
+	}
+	l2, r2, err := Open(NewMemSinkFrom(s), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append(rec(2, 2)); !errors.Is(err, ErrReplaying) {
+		t.Fatalf("append before drain = %v; want ErrReplaying", err)
+	}
+	if err := l2.Snapshot(1, 1, nil); !errors.Is(err, ErrReplaying) {
+		t.Fatalf("snapshot before drain = %v; want ErrReplaying", err)
+	}
+	drain(t, r2)
+	if err := l2.Append(rec(2, 2)); err != nil {
+		t.Fatalf("append after drain: %v", err)
+	}
+}
+
 func TestSeqMonotonic(t *testing.T) {
-	l, _ := openFresh(t, NewMemSink(), Options{})
+	l, _, _ := openFresh(t, NewMemSink(), Options{})
 	if err := l.Append(rec(1, 1)); err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +177,7 @@ func TestSeqMonotonic(t *testing.T) {
 func TestSnapshotRotationAndReplaySkip(t *testing.T) {
 	sinks(t, func(t *testing.T, mk func(t *testing.T) Sink) {
 		s := mk(t)
-		l, _ := openFresh(t, s, Options{})
+		l, _, _ := openFresh(t, s, Options{})
 		for i := int64(1); i <= 4; i++ {
 			if err := l.Append(rec(i, uint64(i), entry("k", uint64(i), i))); err != nil {
 				t.Fatal(err)
@@ -138,20 +204,191 @@ func TestSnapshotRotationAndReplaySkip(t *testing.T) {
 			t.Fatalf("snapshots = %v; want [4]", snaps)
 		}
 
-		_, r := reopen(t, s, Options{})
-		if !r.HasSnapshot || r.SnapshotSeq != 4 {
+		_, r, d := reopen(t, s, Options{})
+		if !r.HasSnapshot || r.SnapshotSeq != 4 || r.BaseSeq != 4 || r.Diffs != 0 {
 			t.Fatalf("recovery snapshot = %+v", r)
 		}
-		if len(r.Records) != 1 || r.Records[0].Seq != 5 {
-			t.Fatalf("replay records = %+v; want only seq 5", r.Records)
+		if len(d.records) != 1 || d.records[0].Seq != 5 {
+			t.Fatalf("replay records = %+v; want only seq 5", d.records)
 		}
 		if r.LastSeq != 5 || r.MaxTS != 9 {
 			t.Fatalf("LastSeq %d MaxTS %d", r.LastSeq, r.MaxTS)
 		}
-		if v := r.Snapshot[0][0].Value.(int64); v != 4 {
+		if len(d.chain) != 1 {
+			t.Fatalf("chain links = %d; want 1", len(d.chain))
+		}
+		if v := d.chain[0][0][0].Value.(int64); v != 4 {
 			t.Fatalf("snapshot value = %v", v)
 		}
 	})
+}
+
+// TestSnapshotDiffChain: base + diffs recover as a chain (base first), diffs
+// truncate the record log behind them, and the chain survives a restart.
+func TestSnapshotDiffChain(t *testing.T) {
+	sinks(t, func(t *testing.T, mk func(t *testing.T) Sink) {
+		s := mk(t)
+		// Huge budget: diffs never trigger a base rewrite in this test.
+		opts := Options{DiffBudget: 1e9}
+		l, _, _ := openFresh(t, s, opts)
+		if err := l.Append(rec(1, 1, entry("a", 1, 1))); err != nil {
+			t.Fatal(err)
+		}
+		if !l.WantBase() {
+			t.Fatal("fresh log must want a base snapshot")
+		}
+		if err := l.Snapshot(1, 1, [][]store.Entry{{entry("a", 1, 1)}}); err != nil {
+			t.Fatal(err)
+		}
+		if l.WantBase() {
+			t.Fatal("log wants a base right after writing one")
+		}
+		if err := l.Append(rec(2, 2, entry("b", 2, 2))); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.SnapshotDiff(2, 2, [][]store.Entry{{entry("b", 2, 2)}}); err != nil {
+			t.Fatalf("diff 2: %v", err)
+		}
+		if err := l.Append(rec(3, 3, entry("a", 3, 30))); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.SnapshotDiff(3, 3, [][]store.Entry{{entry("a", 3, 30)}}); err != nil {
+			t.Fatalf("diff 3: %v", err)
+		}
+		if l.ChainLen() != 2 || l.BaseSeq() != 1 || l.SnapshotSeq() != 3 {
+			t.Fatalf("chain state = len %d base %d tip %d", l.ChainLen(), l.BaseSeq(), l.SnapshotSeq())
+		}
+		// Records behind the tip are truncated; the whole chain survives.
+		segs, _ := s.Segments()
+		for _, seg := range segs {
+			if seg < 4 {
+				t.Fatalf("segment %d survived diff rotation (segments %v)", seg, segs)
+			}
+		}
+		snaps, _ := s.Snapshots()
+		if len(snaps) != 3 {
+			t.Fatalf("snapshots = %v; want base+2 diffs", snaps)
+		}
+		if err := l.Append(rec(4, 4, entry("c", 4, 4))); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+
+		l2, r, d := reopen(t, s, opts)
+		if !r.HasSnapshot || r.SnapshotSeq != 3 || r.BaseSeq != 1 || r.Diffs != 2 {
+			t.Fatalf("chain recovery = %+v", r)
+		}
+		if r.SnapshotMaxTS != 3 {
+			t.Fatalf("SnapshotMaxTS = %d", r.SnapshotMaxTS)
+		}
+		if len(d.chain) != 3 {
+			t.Fatalf("chain links = %d; want 3", len(d.chain))
+		}
+		// Applying base then diffs must yield a=30, b=2.
+		final := map[string]int64{}
+		for _, link := range d.chain {
+			for _, shard := range link {
+				for _, en := range shard {
+					final[en.Key] = en.Value.(int64)
+				}
+			}
+		}
+		if final["a"] != 30 || final["b"] != 2 {
+			t.Fatalf("chain-applied state = %v", final)
+		}
+		if len(d.records) != 1 || d.records[0].Seq != 4 {
+			t.Fatalf("replay records = %+v; want only seq 4", d.records)
+		}
+		// The reopened log keeps extending the same chain.
+		if l2.BaseSeq() != 1 || l2.ChainLen() != 2 {
+			t.Fatalf("reopened chain state = base %d len %d", l2.BaseSeq(), l2.ChainLen())
+		}
+	})
+}
+
+// TestDiffBudgetRotation: the chain rotates to a fresh base once accumulated
+// diff bytes cross DiffBudget × base size, and old links are dropped.
+func TestDiffBudgetRotation(t *testing.T) {
+	s := NewMemSink()
+	l, _, _ := openFresh(t, s, Options{DiffBudget: 0.5})
+	big := make([]store.Entry, 64)
+	for i := range big {
+		big[i] = entry(fmt.Sprintf("k%02d", i), 1, int64(i))
+	}
+	if err := l.Append(rec(1, 1, big...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Snapshot(1, 1, [][]store.Entry{big}); err != nil {
+		t.Fatal(err)
+	}
+	seq := int64(1)
+	for !l.WantBase() {
+		seq++
+		if err := l.Append(rec(seq, uint64(seq), entry("hot", uint64(seq), seq))); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.SnapshotDiff(seq, uint64(seq), [][]store.Entry{{entry("hot", uint64(seq), seq)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.ChainLen() == 0 {
+		t.Fatal("no diffs accumulated before rotation triggered")
+	}
+	// The rotation: a fresh base drops the old chain.
+	seq++
+	if err := l.Append(rec(seq, uint64(seq), entry("hot", uint64(seq), seq))); err != nil {
+		t.Fatal(err)
+	}
+	full := append(append([]store.Entry(nil), big...), entry("hot", uint64(seq), seq))
+	if err := l.Snapshot(seq, uint64(seq), [][]store.Entry{full}); err != nil {
+		t.Fatal(err)
+	}
+	if l.ChainLen() != 0 || l.BaseSeq() != seq {
+		t.Fatalf("post-rotation chain = len %d base %d", l.ChainLen(), l.BaseSeq())
+	}
+	snaps, _ := s.Snapshots()
+	if len(snaps) != 1 || snaps[0] != seq {
+		t.Fatalf("snapshots after rotation = %v; want [%d]", snaps, seq)
+	}
+	_, r, _ := reopen(t, s, Options{DiffBudget: 0.5})
+	if r.BaseSeq != seq || r.Diffs != 0 {
+		t.Fatalf("post-rotation recovery = %+v", r)
+	}
+}
+
+// TestMaxDiffChainCap: the length cap forces a base even under a huge byte
+// budget.
+func TestMaxDiffChainCap(t *testing.T) {
+	l, _, _ := openFresh(t, NewMemSink(), Options{DiffBudget: 1e9, MaxDiffChain: 2})
+	if err := l.Append(rec(1, 1, entry("k", 1, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Snapshot(1, 1, [][]store.Entry{{entry("k", 1, 1)}}); err != nil {
+		t.Fatal(err)
+	}
+	for seq := int64(2); seq <= 3; seq++ {
+		if l.WantBase() {
+			t.Fatalf("WantBase at chain len %d, cap 2", l.ChainLen())
+		}
+		if err := l.Append(rec(seq, uint64(seq), entry("k", uint64(seq), seq))); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.SnapshotDiff(seq, uint64(seq), [][]store.Entry{{entry("k", uint64(seq), seq)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !l.WantBase() {
+		t.Fatal("cap reached but WantBase is false")
+	}
+}
+
+func TestDiffWithoutBase(t *testing.T) {
+	l, _, _ := openFresh(t, NewMemSink(), Options{})
+	if err := l.SnapshotDiff(1, 1, nil); !errors.Is(err, ErrNoBase) {
+		t.Fatalf("diff without base = %v; want ErrNoBase", err)
+	}
 }
 
 // TestReplayIdempotence: records at or below the snapshot watermark are
@@ -159,7 +396,7 @@ func TestSnapshotRotationAndReplaySkip(t *testing.T) {
 // segment cleanup), so no batch is ever applied twice.
 func TestReplayIdempotence(t *testing.T) {
 	s := NewMemSink()
-	l, _ := openFresh(t, s, Options{})
+	l, _, _ := openFresh(t, s, Options{})
 	for i := int64(1); i <= 3; i++ {
 		if err := l.Append(rec(i, uint64(i), entry("k", uint64(i), i))); err != nil {
 			t.Fatal(err)
@@ -177,9 +414,9 @@ func TestReplayIdempotence(t *testing.T) {
 	}
 	s.segs[1] = old
 
-	_, r := reopen(t, s, Options{})
-	if len(r.Records) != 0 {
-		t.Fatalf("replayed %d duplicate records; want 0", len(r.Records))
+	_, r, d := reopen(t, s, Options{})
+	if len(d.records) != 0 {
+		t.Fatalf("replayed %d duplicate records; want 0", len(d.records))
 	}
 	if r.Skipped != 3 {
 		t.Fatalf("Skipped = %d; want 3", r.Skipped)
@@ -192,7 +429,7 @@ func TestReplayIdempotence(t *testing.T) {
 func TestTornTailTruncation(t *testing.T) {
 	sinks(t, func(t *testing.T, mk func(t *testing.T) Sink) {
 		s := mk(t)
-		l, _ := openFresh(t, s, Options{})
+		l, _, _ := openFresh(t, s, Options{})
 		for i := int64(1); i <= 3; i++ {
 			if err := l.Append(rec(i, uint64(i), entry("k", uint64(i), i))); err != nil {
 				t.Fatal(err)
@@ -217,29 +454,29 @@ func TestTornTailTruncation(t *testing.T) {
 			f.Close()
 		}
 
-		_, r := reopen(t, s, Options{})
+		_, r, d := reopen(t, s, Options{})
 		if !r.TornTail {
 			t.Fatal("TornTail not reported")
 		}
-		if r.LastSeq != 3 || len(r.Records) != 3 {
-			t.Fatalf("recovered LastSeq %d Records %d; want 3/3", r.LastSeq, len(r.Records))
+		if r.LastSeq != 3 || len(d.records) != 3 {
+			t.Fatalf("recovered LastSeq %d Records %d; want 3/3", r.LastSeq, len(d.records))
 		}
 		// The torn bytes must be gone: a third open sees a clean log.
-		_, r2 := reopen(t, s, Options{})
+		_, r2, d2 := reopen(t, s, Options{})
 		if r2.TornTail {
 			t.Fatal("tail still torn after repair")
 		}
-		if r2.LastSeq != 3 {
+		if r2.LastSeq != 3 || len(d2.records) != 3 {
 			t.Fatalf("LastSeq after repair = %d", r2.LastSeq)
 		}
 	})
 }
 
 // TestMidLogCorruption: a bad frame in a non-final segment is not a torn
-// tail and must fail recovery with ErrCorrupt.
+// tail and must fail replay with ErrCorrupt.
 func TestMidLogCorruption(t *testing.T) {
 	s := NewMemSink()
-	l, _ := openFresh(t, s, Options{})
+	l, _, _ := openFresh(t, s, Options{})
 	if err := l.Append(rec(1, 1, entry("k", 1, 1))); err != nil {
 		t.Fatal(err)
 	}
@@ -247,21 +484,24 @@ func TestMidLogCorruption(t *testing.T) {
 	if err := s.StartSegment(2); err != nil {
 		t.Fatal(err)
 	}
-	l2 := &Log{sink: s, lastSeq: 1}
+	l2 := &Log{sink: s, lastSeq: 1, ready: true}
 	if err := l2.Append(rec(2, 2, entry("k", 2, 2))); err != nil {
 		t.Fatal(err)
 	}
 	s.Corrupt(1, 10) // payload byte of the first record
 
-	_, _, err := Open(NewMemSinkFrom(s), Options{})
-	if !errors.Is(err, ErrCorrupt) {
+	_, r, err := Open(NewMemSinkFrom(s), Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := drainE(r); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("mid-log corruption error = %v; want ErrCorrupt", err)
 	}
 }
 
 func TestSyncIntervalPolicy(t *testing.T) {
 	s := &countingSink{Sink: NewMemSink()}
-	l, _ := openFresh(t, s, Options{Policy: SyncInterval, SyncEvery: 3})
+	l, _, _ := openFresh(t, s, Options{Policy: SyncInterval, SyncEvery: 3})
 	base := s.syncs
 	for i := int64(1); i <= 7; i++ {
 		if err := l.Append(rec(i, uint64(i))); err != nil {
@@ -273,7 +513,7 @@ func TestSyncIntervalPolicy(t *testing.T) {
 	}
 
 	s2 := &countingSink{Sink: NewMemSink()}
-	l2, _ := openFresh(t, s2, Options{Policy: SyncNone})
+	l2, _, _ := openFresh(t, s2, Options{Policy: SyncNone})
 	base2 := s2.syncs
 	for i := int64(1); i <= 7; i++ {
 		if err := l2.Append(rec(i, uint64(i))); err != nil {
@@ -285,7 +525,7 @@ func TestSyncIntervalPolicy(t *testing.T) {
 	}
 
 	s3 := &countingSink{Sink: NewMemSink()}
-	l3, _ := openFresh(t, s3, Options{Policy: SyncPunctuation})
+	l3, _, _ := openFresh(t, s3, Options{Policy: SyncPunctuation})
 	base3 := s3.syncs
 	for i := int64(1); i <= 7; i++ {
 		if err := l3.Append(rec(i, uint64(i))); err != nil {
@@ -325,7 +565,7 @@ func NewMemSinkFrom(src *MemSink) *MemSink {
 func TestSnapshotOnlyRestart(t *testing.T) {
 	sinks(t, func(t *testing.T, mk func(t *testing.T) Sink) {
 		s := mk(t)
-		l, _ := openFresh(t, s, Options{})
+		l, _, _ := openFresh(t, s, Options{})
 		for i := int64(1); i <= 2; i++ {
 			if err := l.Append(rec(i, uint64(i), entry("k", uint64(i), i))); err != nil {
 				t.Fatal(err)
@@ -338,8 +578,8 @@ func TestSnapshotOnlyRestart(t *testing.T) {
 			t.Fatal(err)
 		}
 
-		_, r := reopen(t, s, Options{})
-		if !r.HasSnapshot || r.SnapshotSeq != 2 || len(r.Records) != 0 {
+		_, r, d := reopen(t, s, Options{})
+		if !r.HasSnapshot || r.SnapshotSeq != 2 || len(d.records) != 0 {
 			t.Fatalf("snapshot-only recovery = %+v", r)
 		}
 		if r.LastSeq != 2 || r.MaxTS != 2 {
@@ -356,7 +596,7 @@ func TestFileSinkSurvivesUncleanBufferedTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l, _ := openFresh(t, s, Options{Policy: SyncNone})
+	l, _, _ := openFresh(t, s, Options{Policy: SyncNone})
 	if err := l.Append(rec(1, 1, entry("k", 1, 1))); err != nil {
 		t.Fatal(err)
 	}
@@ -371,8 +611,8 @@ func TestFileSinkSurvivesUncleanBufferedTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, r := openFresh(t, s2, Options{})
-	if r.LastSeq != 1 || len(r.Records) != 1 {
-		t.Fatalf("recovered LastSeq %d Records %d; want 1/1 (unsynced tail lost)", r.LastSeq, len(r.Records))
+	_, r, d := openFresh(t, s2, Options{})
+	if r.LastSeq != 1 || len(d.records) != 1 {
+		t.Fatalf("recovered LastSeq %d Records %d; want 1/1 (unsynced tail lost)", r.LastSeq, len(d.records))
 	}
 }
