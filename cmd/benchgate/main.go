@@ -20,12 +20,20 @@
 // Usage:
 //
 //	benchgate -old bench_baseline.txt -new bench_new.txt [-threshold 1.20] [-strict]
+//	benchgate -old bench_baseline.txt -new bench_new.txt -update
+//
+// With -update the comparison still prints — one delta line per benchmark,
+// plus the new and vanished names — but instead of gating, the fresh run's
+// file replaces the baseline byte-for-byte and the exit status is 0. Use it
+// to refresh the checked-in baseline in the same change that adds or
+// intentionally reshapes a benchmark.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -87,20 +95,24 @@ func main() {
 		newPath   = flag.String("new", "bench_new.txt", "fresh benchmark output")
 		threshold = flag.Float64("threshold", 1.20, "fail when new median time/op exceeds old by this factor")
 		strict    = flag.Bool("strict", false, "exit non-zero when a benchmark appears in only one file")
+		update    = flag.Bool("update", false, "print the comparison, then rewrite the baseline from the new run instead of gating")
 	)
 	flag.Parse()
 
 	oldRes, err := parse(*oldPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-		os.Exit(2)
+		if !(*update && os.IsNotExist(err)) {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		oldRes = map[string][]float64{} // -update bootstraps a missing baseline
 	}
 	newRes, err := parse(*newPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(2)
 	}
-	if len(oldRes) == 0 {
+	if len(oldRes) == 0 && !*update {
 		fmt.Fprintf(os.Stderr, "benchgate: no benchmarks in baseline %s\n", *oldPath)
 		os.Exit(2)
 	}
@@ -149,6 +161,24 @@ func main() {
 		unmatched = true
 	}
 
+	// -update turns the run from a gate into a baseline refresh: the deltas
+	// above are the review artifact, the fresh file becomes the baseline,
+	// and the exit status is success regardless of regressions — the point
+	// is to land an intentional reshape with its numbers in one change.
+	if *update {
+		if len(newRes) == 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: refusing to overwrite %s: no benchmarks in %s\n", *oldPath, *newPath)
+			os.Exit(2)
+		}
+		if err := copyFile(*newPath, *oldPath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: update: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: baseline %s refreshed from %s (%d benchmarks, %d new, %d gone)\n",
+			*oldPath, *newPath, len(newRes), len(newOnly), countMissing(oldRes, newRes))
+		return
+	}
+
 	if unmatched && *strict {
 		fmt.Fprintf(os.Stderr, "benchgate: unmatched benchmark names under -strict; refresh %s\n", *oldPath)
 		failed = true
@@ -157,4 +187,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: time/op regression beyond %.0f%% (or missing/unmatched benchmark)\n", (*threshold-1)*100)
 		os.Exit(1)
 	}
+}
+
+// countMissing counts baseline names absent from the fresh run.
+func countMissing(oldRes, newRes map[string][]float64) int {
+	n := 0
+	for name := range oldRes {
+		if _, ok := newRes[name]; !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// copyFile replaces dst with src's bytes via a rename-free rewrite (the
+// baseline is checked in; a plain truncate-and-write keeps its inode and
+// permissions).
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }

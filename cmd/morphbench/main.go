@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"morphstream/internal/harness"
+	"morphstream/internal/telemetry"
 )
 
 func main() {
@@ -33,8 +34,24 @@ func main() {
 		statesize = flag.Int("statesize", 0, "with -wal: sweep the keyspace up to this many keys at a fixed 1k-key touch set per punctuation, reporting the commit hook's dirty-set sweep time against the full-table baseline, separately from record encode and fsync")
 		serve     = flag.Bool("serve", false, "flood the framed RPC front door over loopback TCP (multi-connection, per-event receipt RTTs) and compare against in-process ingest of the same stream")
 		conns     = flag.Int("conns", 4, "client connections for -serve")
+		admin     = flag.String("admin", "", "telemetry HTTP address for runtime metrics and pprof during runs, e.g. :9090 (empty = off)")
 	)
 	flag.Parse()
+
+	if *admin != "" {
+		// Experiments build their own engines, so the registry here carries
+		// Go runtime metrics (heap, GC, goroutines) and pprof — enough to
+		// profile a long experiment from outside the process.
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterRuntime(reg)
+		adm, bound, err := telemetry.Serve(*admin, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "admin:", err)
+			os.Exit(1)
+		}
+		defer adm.Close()
+		fmt.Printf("(admin endpoint on %s: /metrics /healthz /debug/pprof)\n", bound)
+	}
 
 	if *serve {
 		start := time.Now()

@@ -9,6 +9,10 @@
 // drain: every ingested event executes and its receipt is delivered, every
 // event read but not yet ingested is explicitly failed, then the server
 // exits.
+//
+// With -admin the server also exposes the telemetry endpoint: /metrics
+// (Prometheus text), /statusz (JSON engine snapshot), /healthz (flips to
+// NOT_SERVING the moment a drain begins), and /debug/pprof.
 package main
 
 import (
@@ -23,7 +27,9 @@ import (
 	"time"
 
 	"morphstream/internal/engine"
+	"morphstream/internal/exec"
 	"morphstream/internal/rpcserve"
+	"morphstream/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +45,7 @@ func main() {
 		balance   = flag.Int64("balance", 10000, "initial balance per account")
 		drainWait = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on shutdown")
 		quiet     = flag.Bool("quiet", false, "suppress per-session log lines")
+		admin     = flag.String("admin", "", "telemetry HTTP address, e.g. :9090 (empty = off)")
 	)
 	flag.Parse()
 
@@ -58,6 +65,12 @@ func main() {
 	if !*quiet {
 		cfg.Logf = log.Printf
 	}
+	var reg *telemetry.Registry
+	if *admin != "" {
+		reg = telemetry.NewRegistry()
+		telemetry.RegisterRuntime(reg)
+		cfg.Engine.Telemetry = reg
+	}
 
 	srv := rpcserve.New(cfg)
 	srv.Register(rpcserve.LedgerOperatorName, rpcserve.LedgerOperator())
@@ -69,11 +82,35 @@ func main() {
 		os.Exit(1)
 	}
 
+	var adm *telemetry.Admin
+	if *admin != "" {
+		a, bound, err := telemetry.Serve(*admin, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "morphserve: admin: %v\n", err)
+			os.Exit(1)
+		}
+		adm = a
+		adm.SetStatus(func() any {
+			return map[string]any{
+				"pipeline": srv.Engine().PipelineStats(),
+				"sessions": srv.Sessions(),
+				"shards":   exec.NumShards(*shards, *threads),
+				"threads":  *threads,
+			}
+		})
+		defer adm.Close()
+		log.Printf("morphserve: admin endpoint on %s (/metrics /statusz /healthz /debug/pprof)", bound)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		s := <-sig
 		log.Printf("morphserve: %s — draining (bound %s)", s, *drainWait)
+		// The health probe flips to NOT_SERVING before the drain starts, so
+		// a load balancer scraping /healthz stops routing ahead of the
+		// listener closing.
+		adm.SetServing(false)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

@@ -104,6 +104,7 @@ func (e *Engine) openDurability() error {
 		SyncEvery:    d.SyncEvery,
 		DiffBudget:   d.SnapshotDiffBudget,
 		MaxDiffChain: d.SnapshotMaxDiffs,
+		Registry:     e.cfg.Telemetry,
 	})
 	if err != nil {
 		return fmt.Errorf("engine: durability: %w", err)

@@ -25,6 +25,7 @@ import (
 	"morphstream/internal/metrics"
 	"morphstream/internal/sched"
 	"morphstream/internal/store"
+	"morphstream/internal/telemetry"
 	"morphstream/internal/tpg"
 	"morphstream/internal/txn"
 	"morphstream/internal/wal"
@@ -100,6 +101,12 @@ type Config struct {
 	// streaming lifecycle: Start recovers, every punctuation logs the
 	// batch's net state deltas, Close closes the log. See durability.go.
 	Durability *Durability
+	// Telemetry, when non-nil, registers the engine's instruments (and the
+	// executor's and WAL's, plumbed through) on the registry: per-batch
+	// counters, latency histograms, and scrape-time ring/overlap/WAL views.
+	// Nil costs the hot path nothing beyond nil-check branches. See
+	// stats.go and morphstream.WithTelemetry.
+	Telemetry *telemetry.Registry
 }
 
 // Pipeline sizing defaults.
@@ -312,6 +319,11 @@ type Engine struct {
 
 	batches atomic.Int64
 
+	// totals and inst feed PipelineStats and the telemetry registry: the
+	// executor stage folds each batch in via recordBatch (stats.go).
+	totals pipeTotals
+	inst   engineInstruments
+
 	// Durability state (durability.go). wal and walWatermark are touched
 	// only at quiescent points (Start under lifeMu, the executor stage's
 	// punctuation hook, Close after executor shutdown); walErr is the
@@ -377,6 +389,12 @@ func WithResultSink(fn func(*BatchResult)) Option {
 	return func(c *Config) { c.Sink = fn }
 }
 
+// WithTelemetry registers the engine's instruments — and, through the
+// config plumbing, the executor's and the WAL's — on reg (Config.Telemetry).
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *Config) { c.Telemetry = reg }
+}
+
 // New creates an engine over a fresh state table.
 func New(cfg Config, opts ...Option) *Engine {
 	for _, o := range opts {
@@ -391,7 +409,7 @@ func New(cfg Config, opts ...Option) *Engine {
 	if cfg.IngestBuffer <= 0 {
 		cfg.IngestBuffer = DefaultIngestBuffer
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:            cfg,
 		table:          store.NewTable(),
 		latency:        metrics.NewLatencyRecorder(),
@@ -399,6 +417,8 @@ func New(cfg Config, opts ...Option) *Engine {
 		Breakdown:      &metrics.Breakdown{},
 		results:        make(chan *BatchResult, resultsBuffer),
 	}
+	e.setupTelemetry()
+	return e
 }
 
 // Table exposes the shared state table for preloading. Read it only at
@@ -412,9 +432,6 @@ func (e *Engine) Latency() *metrics.LatencyRecorder { return e.latency }
 // Batches reports how many punctuations have been processed.
 func (e *Engine) Batches() int { return int(e.batches.Load()) }
 
-// PipelineStats reads the plan/execute overlap meter (zero when the
-// pipeline never ran).
-func (e *Engine) PipelineStats() metrics.OverlapStats { return e.overlap.Stats() }
 
 // universeSnapshot supplies the ND fan-out key universe to TPG builders: the
 // table's key set as of the last quiescent refresh. Keys interned after the
@@ -573,6 +590,7 @@ func (e *Engine) executeBatch(pb *plannedBatch) *BatchResult {
 				Shards:    e.cfg.Shards,
 				Table:     e.table,
 				Breakdown: e.Breakdown,
+				Telemetry: e.cfg.Telemetry,
 			})
 		}(i, j)
 	}
@@ -615,6 +633,7 @@ func (e *Engine) executeBatch(pb *plannedBatch) *BatchResult {
 	// deltas are logged (and fsynced, per policy) while the table still
 	// holds them and before the result can be observed — an observed
 	// result therefore implies a durable batch.
+	var commitTime time.Duration
 	if e.wal != nil && e.walErr == nil {
 		// Complete the dirty set with the keys ND operations resolved (or
 		// created) during execution — rolled-back ND writes cleared their
@@ -626,7 +645,15 @@ func (e *Engine) executeBatch(pb *plannedBatch) *BatchResult {
 				}
 			}
 		}
+		commitStart := time.Now()
 		e.commitWAL(res, pb.maxTS, pb.dirty)
+		commitTime = time.Since(commitStart)
+		// Mirror the single-writer log's watermarks into atomics so
+		// PipelineStats and the admin server can read them mid-traffic.
+		if e.wal != nil {
+			e.totals.walLastSeq.Store(e.wal.LastSeq())
+			e.totals.walChainLen.Store(int64(e.wal.ChainLen()))
+		}
 	}
 	for _, pj := range pb.jobs {
 		pj.builder.Recycle(pj.graph)
@@ -645,6 +672,7 @@ func (e *Engine) executeBatch(pb *plannedBatch) *BatchResult {
 	e.refreshUniverse()
 
 	res.Elapsed = time.Since(start)
+	e.recordBatch(res, commitTime)
 	return res
 }
 

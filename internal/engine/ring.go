@@ -73,6 +73,10 @@ type ingestRing struct {
 	notFull  chan struct{} // consumer -> producers, capacity 1
 	closed   chan struct{} // closed at teardown; releases blocked producers
 	closeOne sync.Once
+	// stalls counts producer parks on a full ring (spin budget exhausted) —
+	// the backpressure signal PipelineStats and the telemetry registry
+	// expose. Off the fast path: only the park branch touches it.
+	stalls atomic.Int64
 }
 
 // newIngestRing sizes the ring to the next power of two >= capacity.
@@ -127,6 +131,7 @@ func (r *ingestRing) push(it ingestItem) error {
 				continue
 			}
 			spins = 0
+			r.stalls.Add(1)
 			select {
 			case <-r.notFull:
 			case <-r.closed:

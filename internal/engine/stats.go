@@ -1,0 +1,232 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+
+	"morphstream/internal/metrics"
+	"morphstream/internal/telemetry"
+)
+
+// PipelineStats is the engine's uniform observability surface: the
+// plan/execute overlap meter reading plus cumulative totals across every
+// punctuation processed so far. The executor stage accumulates the totals
+// once per batch into padless atomics, so PipelineStats is safe to call
+// concurrently from any goroutine (the admin server's /statusz scrapes it
+// mid-traffic) — the totals are a consistent-enough racy read: each field is
+// individually monotonic.
+type PipelineStats struct {
+	metrics.OverlapStats
+
+	// Batches is the number of punctuations processed (== Engine.Batches).
+	Batches int64
+	// Events counts input events across all batches; Dropped the subset
+	// discarded by PreProcess failures.
+	Events  int64
+	Dropped int64
+	// Committed and Aborted count state transactions.
+	Committed int64
+	Aborted   int64
+	// AbortRounds, Redos and OpsExecuted aggregate the executor's abort
+	// machinery and operation counts (exec.Result, summed over batches).
+	AbortRounds int64
+	Redos       int64
+	OpsExecuted int64
+	// Steals and Parks aggregate the executor's work-stealing and
+	// spin-then-park activity (exec.Result.Steals/Parks, summed).
+	Steals int64
+	Parks  int64
+	// FusedOps counts operations executed as members of fused vertices
+	// (tpg.Props.FusedOps, summed).
+	FusedOps int64
+
+	// PlanElapsed and ExecElapsed are the cumulative planning-stage and
+	// execution-phase times (BatchResult.PlanElapsed/Elapsed, summed); in
+	// the pipeline they overlap, which is what OverlapStats quantifies.
+	PlanElapsed time.Duration
+	ExecElapsed time.Duration
+	// CommitElapsed is the cumulative WAL commit-hook time (dirty-set sweep
+	// + record encode + append + fsync); zero with durability off.
+	CommitElapsed time.Duration
+	// DurableBatches counts delivered batches whose results carried
+	// Durable=true; WALLastSeq and WALDiffChain mirror the log's sequence
+	// watermark and incremental-snapshot chain length.
+	DurableBatches int64
+	WALLastSeq     int64
+	WALDiffChain   int
+
+	// IngestDepth and IngestCapacity are the submission ring's approximate
+	// occupancy and size (zero when the pipeline never ran); IngestStalls
+	// counts producer blocks on a full ring — the pipeline's backpressure
+	// made visible.
+	IngestDepth    int
+	IngestCapacity int
+	IngestStalls   int64
+}
+
+// pipeTotals is the engine-internal accumulator behind PipelineStats:
+// written once per batch by the executor stage, read concurrently by
+// PipelineStats callers. Plain atomics — per-batch update frequency needs no
+// striping.
+type pipeTotals struct {
+	events, dropped       atomic.Int64
+	committed, aborted    atomic.Int64
+	abortRounds, redos    atomic.Int64
+	opsExecuted           atomic.Int64
+	steals, parks         atomic.Int64
+	fusedOps              atomic.Int64
+	planNS, execNS        atomic.Int64
+	commitNS              atomic.Int64
+	durable               atomic.Int64
+	walLastSeq            atomic.Int64
+	walChainLen           atomic.Int64
+}
+
+// engineInstruments are the registry series the engine itself owns. All nil
+// when the engine has no registry — every recording below is then a nil
+// check. The executor's (steals, parks, shard occupancy) and the WAL's
+// (appends, fsync, snapshots) series are owned by those packages.
+type engineInstruments struct {
+	eventsPlanned *telemetry.Counter
+	eventsDropped *telemetry.Counter
+	batchesSealed *telemetry.Counter
+	txnCommitted  *telemetry.Counter
+	txnAborted    *telemetry.Counter
+	abortRounds   *telemetry.Counter
+	redos         *telemetry.Counter
+	fusedOps      *telemetry.Counter
+	planNS        *telemetry.Histogram
+	execNS        *telemetry.Histogram
+	commitNS      *telemetry.Histogram
+	batchEvents   *telemetry.Histogram
+}
+
+// setupTelemetry registers the engine's series on cfg.Telemetry. The
+// per-batch counters live in e.inst; scrape-time views (ring depth, overlap,
+// WAL watermarks) read the pipeline and totals through callbacks. Safe on a
+// nil registry: every constructor returns a nil no-op instrument.
+func (e *Engine) setupTelemetry() {
+	reg := e.cfg.Telemetry
+	e.inst = engineInstruments{
+		eventsPlanned: reg.Counter("morph_engine_events_planned_total", "Input events planned into TPG batches."),
+		eventsDropped: reg.Counter("morph_engine_events_dropped_total", "Ingested events discarded by PreProcess failures."),
+		batchesSealed: reg.Counter("morph_engine_batches_sealed_total", "Punctuation batches sealed and executed."),
+		txnCommitted:  reg.Counter("morph_engine_txn_committed_total", "State transactions committed."),
+		txnAborted:    reg.Counter("morph_engine_txn_aborted_total", "State transactions aborted."),
+		abortRounds:   reg.Counter("morph_engine_abort_rounds_total", "Abort/rollback machinery invocations."),
+		redos:         reg.Counter("morph_engine_redos_total", "Operation re-executions caused by rollback."),
+		fusedOps:      reg.Counter("morph_engine_fused_ops_total", "Operations executed inside fused TPG vertices."),
+		planNS:        reg.Histogram("morph_engine_plan_ns", "Per-batch planning-stage time (ns)."),
+		execNS:        reg.Histogram("morph_engine_exec_ns", "Per-batch execution-phase time (ns)."),
+		commitNS:      reg.Histogram("morph_engine_commit_ns", "Per-batch WAL commit-hook time (ns)."),
+		batchEvents:   reg.Histogram("morph_engine_batch_events", "Input events per sealed batch."),
+	}
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("morph_ingest_ring_depth", "Approximate submission-ring occupancy.", func() int64 {
+		if p := e.pipe.Load(); p != nil {
+			return int64(p.ring.len())
+		}
+		return 0
+	})
+	reg.GaugeFunc("morph_ingest_ring_capacity", "Submission-ring capacity.", func() int64 {
+		if p := e.pipe.Load(); p != nil {
+			return int64(len(p.ring.slots))
+		}
+		return 0
+	})
+	reg.CounterFunc("morph_ingest_stalls_total", "Producer blocks on a full submission ring (backpressure).", func() int64 {
+		if p := e.pipe.Load(); p != nil {
+			return p.ring.stalls.Load()
+		}
+		return 0
+	})
+	reg.CounterFunc("morph_engine_plan_busy_ns_total", "Cumulative planner-stage busy time.", func() int64 {
+		return int64(e.overlap.Stats().PlanBusy)
+	})
+	reg.CounterFunc("morph_engine_exec_busy_ns_total", "Cumulative executor-stage busy time.", func() int64 {
+		return int64(e.overlap.Stats().ExecBusy)
+	})
+	reg.CounterFunc("morph_engine_overlap_ns_total", "Cumulative time both pipeline stages were busy.", func() int64 {
+		return int64(e.overlap.Stats().Overlap)
+	})
+	reg.GaugeFunc("morph_wal_last_seq", "Highest batch sequence durably appended.", func() int64 {
+		return e.totals.walLastSeq.Load()
+	})
+	reg.GaugeFunc("morph_wal_diff_chain_len", "Incremental snapshot diffs stacked on the current base.", func() int64 {
+		return e.totals.walChainLen.Load()
+	})
+}
+
+// recordBatch folds one delivered batch into the cumulative totals and the
+// registry. Runs on the executor stage (one goroutine), once per
+// punctuation — never on the per-operation hot path.
+func (e *Engine) recordBatch(res *BatchResult, commitTime time.Duration) {
+	t := &e.totals
+	t.events.Add(int64(res.Events))
+	t.dropped.Add(int64(res.Dropped))
+	t.committed.Add(int64(res.Committed))
+	t.aborted.Add(int64(res.Aborted))
+	t.abortRounds.Add(int64(res.AbortRounds))
+	t.redos.Add(int64(res.Redos))
+	t.opsExecuted.Add(int64(res.OpsExecuted))
+	t.steals.Add(int64(res.Steals))
+	t.parks.Add(int64(res.Parks))
+	t.fusedOps.Add(int64(res.Props.FusedOps))
+	t.planNS.Add(int64(res.PlanElapsed))
+	t.execNS.Add(int64(res.Elapsed))
+	t.commitNS.Add(int64(commitTime))
+	if res.Durable {
+		t.durable.Add(1)
+	}
+
+	in := &e.inst
+	in.eventsPlanned.Add(int64(res.Events - res.Dropped))
+	in.eventsDropped.Add(int64(res.Dropped))
+	in.batchesSealed.Inc()
+	in.txnCommitted.Add(int64(res.Committed))
+	in.txnAborted.Add(int64(res.Aborted))
+	in.abortRounds.Add(int64(res.AbortRounds))
+	in.redos.Add(int64(res.Redos))
+	in.fusedOps.Add(int64(res.Props.FusedOps))
+	in.planNS.Record(int64(res.PlanElapsed))
+	in.execNS.Record(int64(res.Elapsed))
+	if commitTime > 0 {
+		in.commitNS.Record(int64(commitTime))
+	}
+	in.batchEvents.Record(int64(res.Events))
+}
+
+// PipelineStats assembles the engine's observability surface: the overlap
+// meter reading plus the cumulative per-batch totals. Safe to call from any
+// goroutine at any time.
+func (e *Engine) PipelineStats() PipelineStats {
+	t := &e.totals
+	s := PipelineStats{
+		OverlapStats:   e.overlap.Stats(),
+		Batches:        e.batches.Load(),
+		Events:         t.events.Load(),
+		Dropped:        t.dropped.Load(),
+		Committed:      t.committed.Load(),
+		Aborted:        t.aborted.Load(),
+		AbortRounds:    t.abortRounds.Load(),
+		Redos:          t.redos.Load(),
+		OpsExecuted:    t.opsExecuted.Load(),
+		Steals:         t.steals.Load(),
+		Parks:          t.parks.Load(),
+		FusedOps:       t.fusedOps.Load(),
+		PlanElapsed:    time.Duration(t.planNS.Load()),
+		ExecElapsed:    time.Duration(t.execNS.Load()),
+		CommitElapsed:  time.Duration(t.commitNS.Load()),
+		DurableBatches: t.durable.Load(),
+		WALLastSeq:     t.walLastSeq.Load(),
+		WALDiffChain:   int(t.walChainLen.Load()),
+	}
+	if p := e.pipe.Load(); p != nil {
+		s.IngestDepth = p.ring.len()
+		s.IngestCapacity = len(p.ring.slots)
+		s.IngestStalls = p.ring.stalls.Load()
+	}
+	return s
+}

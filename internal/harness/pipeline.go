@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"morphstream/internal/engine"
-	"morphstream/internal/metrics"
 	"morphstream/internal/txn"
 	"morphstream/internal/wal"
 	"morphstream/internal/workload"
@@ -72,10 +71,12 @@ func RunSynchronousBaseline(b *workload.Batch, batchSize, threads int) (committe
 
 // RunPipelined drives the stream through Start/Ingest/Drain/Close with a
 // count-punctuation policy and reports committed transactions, wall time,
-// and the overlap meter reading.
-func RunPipelined(b *workload.Batch, batchSize, threads int) (committed int, elapsed time.Duration, stats metrics.OverlapStats) {
+// and the full pipeline counters. Extra engine options (e.g.
+// engine.WithTelemetry for the instrumentation-overhead benchmark) append
+// after the punctuation policy.
+func RunPipelined(b *workload.Batch, batchSize, threads int, opts ...engine.Option) (committed int, elapsed time.Duration, stats engine.PipelineStats) {
 	e := engine.New(engine.Config{Threads: threads, Cleanup: true},
-		engine.WithPunctuationCount(batchSize))
+		append([]engine.Option{engine.WithPunctuationCount(batchSize)}, opts...)...)
 	preloadEngine(e, b)
 	if err := e.Start(context.Background()); err != nil {
 		panic(err)
@@ -103,7 +104,7 @@ func RunPipelined(b *workload.Batch, batchSize, threads int) (committed int, ela
 // file-backed sink under dir, the given fsync policy, and the default
 // snapshot stride. It additionally reports how many delivered batches were
 // durable.
-func RunPipelinedDurable(b *workload.Batch, batchSize, threads int, dir string, sync wal.SyncPolicy) (committed int, elapsed time.Duration, stats metrics.OverlapStats) {
+func RunPipelinedDurable(b *workload.Batch, batchSize, threads int, dir string, sync wal.SyncPolicy) (committed int, elapsed time.Duration, stats engine.PipelineStats) {
 	e := engine.New(engine.Config{Threads: threads, Cleanup: true,
 		Durability: &engine.Durability{Dir: dir, Sync: sync}},
 		engine.WithPunctuationCount(batchSize))

@@ -196,6 +196,17 @@ type OverlapStats struct {
 	Wall time.Duration
 }
 
+// Ratio reports the overlap share of execution time — the fraction of
+// execution during which planning ran concurrently (0 when execution never
+// ran). This is the single "pipelining worked" number the harness tables
+// and the telemetry /statusz snapshot both derive from.
+func (s OverlapStats) Ratio() float64 {
+	if s.ExecBusy <= 0 {
+		return 0
+	}
+	return float64(s.Overlap) / float64(s.ExecBusy)
+}
+
 // SetPlan marks the planning stage busy or idle. No-op when unchanged.
 func (m *OverlapMeter) SetPlan(busy bool) {
 	if m == nil || busyBit(m.bits.Load()&1) == busy {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"morphstream/internal/engine"
+	"morphstream/internal/telemetry"
 	"morphstream/internal/txn"
 )
 
@@ -70,6 +71,45 @@ type Server struct {
 	// executor goroutine, so no lock guards it — which is also why the
 	// server never drives the engine's synchronous facade.
 	pending []*envelope
+
+	inst serverInstruments
+}
+
+// serverInstruments are the front door's registry series, wired from
+// Config.Engine.Telemetry; all nil (no-op) without a registry. Frame
+// counters are indexed by FrameType so the per-frame path is one array load
+// and one stripe add.
+type serverInstruments struct {
+	connections *telemetry.Counter
+	disconnects *telemetry.Counter
+	sendStalls  *telemetry.Counter
+	framesIn    [FrameError + 1]*telemetry.Counter
+	framesOut   [FrameError + 1]*telemetry.Counter
+}
+
+// setupTelemetry registers the server's series. Called once from New.
+func (s *Server) setupTelemetry() {
+	reg := s.cfg.Engine.Telemetry
+	if reg == nil {
+		return
+	}
+	s.inst.connections = reg.Counter("morph_rpc_connections_total", "Connections accepted.")
+	s.inst.disconnects = reg.Counter("morph_rpc_disconnects_total", "Sessions torn down.")
+	s.inst.sendStalls = reg.Counter("morph_rpc_send_stalls_total", "Outbound enqueues that found the receipt queue full (writer backpressure).")
+	for t := FrameType(1); t <= FrameError; t++ {
+		s.inst.framesIn[t] = reg.CounterL("morph_rpc_frames_in_total", "Frames read from clients, by type.", "type", t.String())
+		s.inst.framesOut[t] = reg.CounterL("morph_rpc_frames_out_total", "Frames written to clients, by type.", "type", t.String())
+	}
+	reg.GaugeFunc("morph_rpc_sessions", "Live sessions.", func() int64 {
+		return int64(s.Sessions())
+	})
+	reg.GaugeFunc("morph_rpc_receipt_queue_depth", "Queued outbound frames across all sessions.", func() int64 {
+		var n int64
+		for _, ss := range s.snapshotSessions() {
+			n += int64(len(ss.out))
+		}
+		return n
+	})
 }
 
 // New builds a server over a fresh engine. Preload state through
@@ -91,6 +131,7 @@ func New(cfg Config) *Server {
 	opts = append(opts, cfg.Options...)
 	opts = append(opts, engine.WithResultSink(s.onBatch))
 	s.eng = engine.New(cfg.Engine, opts...)
+	s.setupTelemetry()
 	return s
 }
 
@@ -146,6 +187,7 @@ func (s *Server) Serve(lis net.Listener) error {
 			conn.Close()
 			continue
 		}
+		s.inst.connections.Inc()
 		ss := newSession(s, conn)
 		s.mu.Lock()
 		s.sessions[ss] = struct{}{}
@@ -383,6 +425,7 @@ func (ss *session) kill() {
 		close(ss.done)
 		ss.conn.Close()
 		ss.srv.removeSession(ss)
+		ss.srv.inst.disconnects.Inc()
 	})
 }
 
@@ -390,6 +433,9 @@ func (ss *session) kill() {
 // returns false — dropping the frame — once the session died. A live but
 // stalled session bounds the blockage via the writer's write timeout.
 func (ss *session) send(f Frame) bool {
+	if len(ss.out) == cap(ss.out) {
+		ss.srv.inst.sendStalls.Inc()
+	}
 	select {
 	case ss.out <- outFrame{Frame: f}:
 		return true
@@ -501,6 +547,7 @@ func (ss *session) writeLoop() {
 			if err := writeFrame(ss.bw, ss.scratch[:], of.Frame); err != nil {
 				return
 			}
+			ss.srv.inst.framesOut[of.Type].Inc()
 			if len(ss.out) == 0 || of.last {
 				if err := ss.bw.Flush(); err != nil {
 					return
@@ -630,6 +677,7 @@ func (ss *session) readNext() (Frame, bool) {
 	}
 	f, err := ss.fr.read()
 	if err == nil {
+		ss.srv.inst.framesIn[f.Type].Inc()
 		return f, true
 	}
 	if ss.draining.Load() || ss.srv.draining.Load() {

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Admin is the engine's operator endpoint: a plain net/http server exposing
+// the registry at /metrics (Prometheus text format) and /varz (JSON
+// snapshot), an application status document at /statusz, a drain-aware
+// /healthz, and the stdlib pprof handlers under /debug/pprof/. It is off by
+// default everywhere — commands opt in with an -admin flag.
+type Admin struct {
+	reg      *Registry
+	serving  atomic.Bool
+	statusFn atomic.Pointer[func() any]
+
+	mu  sync.Mutex
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewAdmin returns an Admin over reg (nil reg is allowed: /metrics scrapes
+// empty, the operational endpoints still work). The server starts in the
+// SERVING state.
+func NewAdmin(reg *Registry) *Admin {
+	a := &Admin{reg: reg}
+	a.serving.Store(true)
+	return a
+}
+
+// SetServing flips /healthz between 200 SERVING and 503 NOT_SERVING. Flip to
+// false when a drain begins so load balancers stop routing before the
+// listener closes.
+func (a *Admin) SetServing(ok bool) {
+	if a == nil {
+		return
+	}
+	a.serving.Store(ok)
+}
+
+// SetStatus installs the callback whose result renders as /statusz (JSON).
+// Called per request — keep it a cheap snapshot assembly.
+func (a *Admin) SetStatus(fn func() any) {
+	if a == nil || fn == nil {
+		return
+	}
+	a.statusFn.Store(&fn)
+}
+
+// Handler returns the admin mux; usable directly in tests or under a parent
+// server.
+func (a *Admin) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = a.reg.WriteProm(w)
+	})
+	mux.HandleFunc("/varz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = a.reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var body any
+		if fn := a.statusFn.Load(); fn != nil {
+			body = (*fn)()
+		} else {
+			body = map[string]any{"status": "no status callback installed"}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(body)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if a.serving.Load() {
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte("SERVING\n"))
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("NOT_SERVING\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start binds addr and serves the admin mux in a background goroutine,
+// returning the bound address (useful with ":0"). The returned error covers
+// the bind only; serve errors after a successful bind are dropped — the
+// admin plane must never take the data plane down with it.
+func (a *Admin) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: a.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	a.mu.Lock()
+	a.srv, a.ln = srv, ln
+	a.mu.Unlock()
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close shuts the admin server down, waiting briefly for in-flight scrapes.
+func (a *Admin) Close() error {
+	a.mu.Lock()
+	srv := a.srv
+	a.srv, a.ln = nil, nil
+	a.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}
+
+// Serve is the one-call form: bind addr, expose reg, serve in the
+// background. Returns the Admin (for SetServing/SetStatus/Close) and the
+// bound address.
+func Serve(addr string, reg *Registry) (*Admin, string, error) {
+	a := NewAdmin(reg)
+	bound, err := a.Start(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	return a, bound, nil
+}

@@ -1,0 +1,476 @@
+// Package telemetry is the engine's runtime-observability subsystem: a
+// registry of lock-free instruments cheap enough for the execution hot path,
+// plus exposition (Prometheus text format and JSON snapshots, expo.go) and an
+// admin HTTP server (/metrics, /statusz, /healthz, pprof — admin.go).
+//
+// # Instruments
+//
+// Counter, Gauge and Histogram mutate through padded per-stripe atomics:
+// writers touch one cacheline-padded cell (hot multi-writer sites spread
+// across stripes by worker id via AddW/RecordW), and stripes are summed only
+// at scrape time. A Histogram uses fixed power-of-two buckets — recording is
+// one bit-length computation plus three stripe-local atomic adds, no
+// allocation, no lock, no floating point.
+//
+// CounterFunc and GaugeFunc are read-only instruments evaluated at scrape
+// time, for values something else already maintains (ring depth, overlap
+// meter readings, runtime stats).
+//
+// # Nil safety
+//
+// Instrumentation compiles in unconditionally and is enabled per engine by
+// passing a Registry. Every constructor on a nil *Registry returns a nil
+// instrument, and every mutation on a nil instrument is a no-op — one
+// predictable branch — so the uninstrumented hot path pays a nil check and
+// nothing else (BenchmarkTelemetryInstruments pins the costs).
+package telemetry
+
+import (
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// numStripes is the per-instrument write-sharding factor (power of two).
+// Hot multi-writer call sites pass a worker id to AddW/RecordW and land on
+// stripe id&(numStripes-1); single-writer sites use Add/Record (stripe 0),
+// which is then an uncontended atomic.
+const numStripes = 8
+
+// stripePad keeps adjacent stripes on distinct cache lines (the executor's
+// 128-byte padding granularity, covering adjacent-line prefetchers).
+const stripePad = 128
+
+// cell is one padded counter stripe.
+type cell struct {
+	v atomic.Int64
+	_ [stripePad - 8]byte
+}
+
+// desc is the identity every instrument shares: the metric name (family),
+// an optional single label pair, and the help line.
+type desc struct {
+	name  string // family name, e.g. "morph_rpc_frames_in_total"
+	label string // label key, "" for unlabelled instruments
+	value string // label value
+	help  string
+}
+
+// Counter is a monotonically increasing, stripe-sharded counter.
+type Counter struct {
+	d     desc
+	cells [numStripes]cell
+}
+
+// Inc adds one (single-writer stripe).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add accumulates n onto stripe 0: the right call for single-writer sites,
+// where it is one uncontended atomic add. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.cells[0].v.Add(n)
+}
+
+// AddW accumulates n onto worker w's stripe, keeping concurrent hot-path
+// writers off each other's cache lines. No-op on a nil receiver.
+func (c *Counter) AddW(w int, n int64) {
+	if c == nil {
+		return
+	}
+	c.cells[uint(w)%numStripes].v.Add(n)
+}
+
+// Value sums the stripes. Concurrent-safe; monotonic across reads that race
+// writers (each stripe is read once, and stripes only grow).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var t int64
+	for i := range c.cells {
+		t += c.cells[i].v.Load()
+	}
+	return t
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	d desc
+	v atomic.Int64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by n (negative to decrease). No-op on a nil receiver.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// numBuckets covers power-of-two upper bounds from 2^0 up to 2^(numBuckets-2);
+// the final bucket is the +Inf overflow. 40 finite buckets span 1ns..~18min
+// when recording nanoseconds, and 1..~5e11 for sizes.
+const numBuckets = 41
+
+// histStripe is one writer stripe of a Histogram: bucket counts plus the
+// count/sum pair every scrape merges. Padded like the counter cells.
+type histStripe struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	_       [stripePad - 16]byte
+}
+
+// Histogram is a fixed power-of-two-bucket histogram: Record costs one
+// bit-length computation and three stripe-local atomic adds. Values are
+// int64 (record time.Duration nanoseconds directly); negatives clamp to 0.
+type Histogram struct {
+	d       desc
+	stripes [numStripes]histStripe
+}
+
+// bucketOf maps v to its bucket: index i holds values in (2^(i-1), 2^i],
+// index 0 holds 0 and 1, and the last bucket is the overflow.
+func bucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(v - 1)) // ceil(log2(v))
+	if b >= numBuckets {
+		return numBuckets - 1
+	}
+	return b
+}
+
+// Record adds one observation on stripe 0 (single-writer sites). No-op on a
+// nil receiver.
+func (h *Histogram) Record(v int64) { h.RecordW(0, v) }
+
+// RecordW adds one observation on worker w's stripe. No-op on a nil receiver.
+func (h *Histogram) RecordW(w int, v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	s := &h.stripes[uint(w)%numStripes]
+	s.buckets[bucketOf(v)].Add(1)
+	s.count.Add(1)
+	s.sum.Add(v)
+}
+
+// HistSnapshot is one merged reading of a Histogram.
+type HistSnapshot struct {
+	// Buckets holds per-bucket (non-cumulative) counts; bucket i covers
+	// (2^(i-1), 2^i], bucket 0 covers [0,1], the last bucket overflows.
+	Buckets [numBuckets]int64
+	// Count is the total number of recorded observations.
+	Count int64
+	// Sum is the sum of all recorded values (negatives clamp to 0).
+	Sum int64
+}
+
+// Snapshot merges the stripes. Writers touch their bucket before count, and
+// the merge reads each stripe's count before its buckets, so a racing
+// snapshot can over-read buckets relative to count but never under-read:
+// sum(Buckets) >= Count always, with equality at quiescence. Every
+// individually read value is monotonic across snapshots.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var out HistSnapshot
+	if h == nil {
+		return out
+	}
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		out.Count += s.count.Load()
+		out.Sum += s.sum.Load()
+		for b := range s.buckets {
+			out.Buckets[b] += s.buckets[b].Load()
+		}
+	}
+	return out
+}
+
+// Quantile estimates the q-th quantile (0..1) from the merged buckets,
+// returning the upper bound of the bucket holding that rank (a power of
+// two). Exposition-time only — never on a hot path.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen int64
+	for i, c := range s.Buckets {
+		seen += c
+		if seen > rank {
+			return bucketBound(i)
+		}
+	}
+	return bucketBound(numBuckets - 1)
+}
+
+// bucketBound is bucket i's inclusive upper bound.
+func bucketBound(i int) int64 {
+	if i <= 0 {
+		return 1
+	}
+	if i >= 63 {
+		return int64(1) << 62 // effectively +Inf; exposition renders it so
+	}
+	return int64(1) << i
+}
+
+// CounterFunc is a scrape-time counter backed by a callback (a total some
+// other subsystem already maintains, e.g. the ingest ring's stall count).
+type CounterFunc struct {
+	d  desc
+	fn func() int64
+}
+
+// Value evaluates the callback.
+func (c *CounterFunc) Value() int64 {
+	if c == nil || c.fn == nil {
+		return 0
+	}
+	return c.fn()
+}
+
+// GaugeFunc is a scrape-time gauge backed by a callback (ring depth, live
+// sessions, heap bytes).
+type GaugeFunc struct {
+	d  desc
+	fn func() int64
+}
+
+// Value evaluates the callback.
+func (g *GaugeFunc) Value() int64 {
+	if g == nil || g.fn == nil {
+		return 0
+	}
+	return g.fn()
+}
+
+// instrument is the registry's view of any instrument kind.
+type instrument struct {
+	d desc
+	c *Counter
+	g *Gauge
+	h *Histogram
+	// cf/gf are the callback variants.
+	cf *CounterFunc
+	gf *GaugeFunc
+}
+
+func (in instrument) kind() string {
+	switch {
+	case in.c != nil, in.cf != nil:
+		return "counter"
+	case in.g != nil, in.gf != nil:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Registry holds a process's instruments. Construction (the Counter/Gauge/
+// Histogram lookups) takes a mutex and is meant for setup paths — engines
+// create their instruments once and hold the pointers; only the returned
+// instruments are hot-path safe. Registration is idempotent: asking for an
+// existing (name, label value) returns the existing instrument, so
+// subsystems opened repeatedly against one registry (a WAL reopened across
+// restarts) keep accumulating into the same series.
+type Registry struct {
+	mu    sync.Mutex
+	order []string // registration order of series keys
+	by    map[string]instrument
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{by: make(map[string]instrument)}
+}
+
+// seriesKey identifies one series: family plus label value.
+func seriesKey(name, value string) string {
+	if value == "" {
+		return name
+	}
+	return name + "\x00" + value
+}
+
+// lookup returns the existing instrument for key, or registers the one built
+// by mk. Returns a zero instrument on a nil registry.
+func (r *Registry) lookup(d desc, mk func() instrument) instrument {
+	if r == nil {
+		return instrument{}
+	}
+	key := seriesKey(d.name, d.value)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in, ok := r.by[key]; ok {
+		return in
+	}
+	in := mk()
+	r.by[key] = in
+	r.order = append(r.order, key)
+	return in
+}
+
+// Counter returns (registering if needed) the counter called name. Nil
+// registry returns a nil instrument whose methods are no-ops.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterL(name, help, "", "")
+}
+
+// CounterL returns the counter series of family name with one label pair
+// (e.g. CounterL("frames_in_total", "...", "type", "submit")). Series of one
+// family share HELP/TYPE in the exposition.
+func (r *Registry) CounterL(name, help, labelKey, labelVal string) *Counter {
+	d := desc{name: name, label: labelKey, value: labelVal, help: help}
+	return r.lookup(d, func() instrument {
+		return instrument{d: d, c: &Counter{d: d}}
+	}).c
+}
+
+// Gauge returns (registering if needed) the gauge called name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	d := desc{name: name, help: help}
+	return r.lookup(d, func() instrument {
+		return instrument{d: d, g: &Gauge{d: d}}
+	}).g
+}
+
+// Histogram returns (registering if needed) the power-of-two-bucket
+// histogram called name.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.HistogramL(name, help, "", "")
+}
+
+// HistogramL returns the histogram series of family name with one label pair.
+func (r *Registry) HistogramL(name, help, labelKey, labelVal string) *Histogram {
+	d := desc{name: name, label: labelKey, value: labelVal, help: help}
+	return r.lookup(d, func() instrument {
+		return instrument{d: d, h: &Histogram{d: d}}
+	}).h
+}
+
+// CounterFunc registers a scrape-time counter evaluated through fn. A second
+// registration of the same name replaces the callback (engines restarted
+// against one registry re-point the callback at the live pipeline).
+func (r *Registry) CounterFunc(name, help string, fn func() int64) *CounterFunc {
+	d := desc{name: name, help: help}
+	in := r.lookup(d, func() instrument {
+		return instrument{d: d, cf: &CounterFunc{d: d, fn: fn}}
+	})
+	if in.cf != nil && fn != nil {
+		r.mu.Lock()
+		in.cf.fn = fn
+		r.mu.Unlock()
+	}
+	return in.cf
+}
+
+// GaugeFunc registers a scrape-time gauge evaluated through fn, replacing
+// the callback on re-registration like CounterFunc.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) *GaugeFunc {
+	d := desc{name: name, help: help}
+	in := r.lookup(d, func() instrument {
+		return instrument{d: d, gf: &GaugeFunc{d: d, fn: fn}}
+	})
+	if in.gf != nil && fn != nil {
+		r.mu.Lock()
+		in.gf.fn = fn
+		r.mu.Unlock()
+	}
+	return in.gf
+}
+
+// snapshotInstruments copies the instrument list under the lock so scraping
+// iterates without holding it (callbacks may take their own locks).
+func (r *Registry) snapshotInstruments() []instrument {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]instrument, 0, len(r.order))
+	for _, key := range r.order {
+		out = append(out, r.by[key])
+	}
+	return out
+}
+
+// families groups the registered instruments by family name, families in
+// first-registration order and series within a family sorted by label value
+// (stable exposition output).
+func (r *Registry) families() [][]instrument {
+	ins := r.snapshotInstruments()
+	idx := make(map[string]int)
+	var out [][]instrument
+	for _, in := range ins {
+		i, ok := idx[in.d.name]
+		if !ok {
+			i = len(out)
+			idx[in.d.name] = i
+			out = append(out, nil)
+		}
+		out[i] = append(out[i], in)
+	}
+	for _, fam := range out {
+		sort.Slice(fam, func(a, b int) bool { return fam[a].d.value < fam[b].d.value })
+	}
+	return out
+}
+
+// RegisterRuntime adds process-level gauges (goroutines, heap bytes, GC
+// cycles and total pause) to r: the baseline any admin endpoint should
+// expose even before a subsystem is instrumented. ReadMemStats runs at
+// scrape time only.
+func RegisterRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("morph_go_goroutines", "Live goroutines.", func() int64 {
+		return int64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("morph_go_heap_alloc_bytes", "Bytes of allocated heap objects.", func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.HeapAlloc)
+	})
+	r.GaugeFunc("morph_go_gc_cycles_total", "Completed GC cycles.", func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.NumGC)
+	})
+	r.GaugeFunc("morph_go_gc_pause_ns_total", "Cumulative GC stop-the-world pause.", func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.PauseTotalNs)
+	})
+}

@@ -1,0 +1,326 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c", "h")
+	g := r.Gauge("g", "h")
+	h := r.Histogram("h", "h")
+	cf := r.CounterFunc("cf", "h", func() int64 { return 7 })
+	gf := r.GaugeFunc("gf", "h", func() int64 { return 7 })
+	if c != nil || g != nil || h != nil || cf != nil || gf != nil {
+		t.Fatal("nil registry must return nil instruments")
+	}
+	// Every mutation and read on nil instruments must be a no-op, not a panic.
+	c.Inc()
+	c.Add(5)
+	c.AddW(3, 5)
+	g.Set(1)
+	g.Add(1)
+	h.Record(10)
+	h.RecordW(2, 10)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if cf.Value() != 0 || gf.Value() != 0 {
+		t.Fatal("nil func instruments must read zero")
+	}
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry WriteProm: %q err=%v", sb.String(), err)
+	}
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("nil registry Snapshot: %v", got)
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help")
+	b := r.Counter("x_total", "help")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	l1 := r.CounterL("y_total", "h", "type", "submit")
+	l2 := r.CounterL("y_total", "h", "type", "submit")
+	l3 := r.CounterL("y_total", "h", "type", "receipt")
+	if l1 != l2 {
+		t.Fatal("same (name,label) must return the same series")
+	}
+	if l1 == l3 {
+		t.Fatal("distinct label values must be distinct series")
+	}
+	h1 := r.Histogram("z_ns", "h")
+	h2 := r.Histogram("z_ns", "h")
+	if h1 != h2 {
+		t.Fatal("same name must return the same histogram")
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3},
+		{9, 4}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		v := c.v
+		if v < 0 {
+			v = 0 // RecordW clamps before bucketing
+		}
+		if got := bucketOf(v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Huge values land in the overflow bucket.
+	if got := bucketOf(int64(1) << 62); got != numBuckets-1 {
+		t.Errorf("bucketOf(2^62) = %d, want overflow %d", got, numBuckets-1)
+	}
+}
+
+func TestHistogramExactTotals(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns", "h")
+	var wantSum int64
+	for i := int64(1); i <= 1000; i++ {
+		h.RecordW(int(i), i)
+		wantSum += i
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Sum != wantSum {
+		t.Fatalf("count=%d sum=%d, want 1000/%d", s.Count, s.Sum, wantSum)
+	}
+	var bucketTotal int64
+	for _, b := range s.Buckets {
+		bucketTotal += b
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+	if q := s.Quantile(0.5); q < 256 || q > 1024 {
+		t.Fatalf("p50 of 1..1000 = %d, want a power-of-two bound near 512", q)
+	}
+	if q := s.Quantile(0.99); q < 512 || q > 1024 {
+		t.Fatalf("p99 of 1..1000 = %d, want 1024-ish", q)
+	}
+}
+
+// TestConcurrentMutationVsScrape floods counters and histograms from many
+// goroutines while a scraper loops over Value/Snapshot/WriteProm, asserting
+// every observed value is monotonic (no tearing, no going backwards) and the
+// final totals are exact. Run under -race in CI.
+func TestConcurrentMutationVsScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "ops")
+	h := r.Histogram("lat_ns", "latency")
+	g := r.Gauge("depth", "depth")
+
+	const workers = 8
+	const perWorker = 5000
+
+	var mutators, scraper sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Scraper: watches for non-monotonic counter reads and torn histograms.
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		var lastC, lastN, lastS int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if v := c.Value(); v < lastC {
+				t.Errorf("counter went backwards: %d -> %d", lastC, v)
+				return
+			} else {
+				lastC = v
+			}
+			s := h.Snapshot()
+			if s.Count < lastN || s.Sum < lastS {
+				t.Errorf("histogram went backwards: count %d->%d sum %d->%d", lastN, s.Count, lastS, s.Sum)
+				return
+			}
+			lastN, lastS = s.Count, s.Sum
+			var bucketTotal int64
+			for _, b := range s.Buckets {
+				bucketTotal += b
+			}
+			// Writers hit their bucket before count, and the merge reads
+			// count before buckets, so a racing snapshot may over-read
+			// buckets but can never show fewer bucketed observations than
+			// counted ones — an under-read would be a torn merge.
+			if bucketTotal < s.Count {
+				t.Errorf("bucket total %d < count %d: torn merge", bucketTotal, s.Count)
+				return
+			}
+			var sb strings.Builder
+			_ = r.WriteProm(&sb)
+			_ = r.Snapshot()
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		mutators.Add(1)
+		go func(w int) {
+			defer mutators.Done()
+			for i := 0; i < perWorker; i++ {
+				c.AddW(w, 1)
+				h.RecordW(w, int64(i%4096)+1)
+				g.Set(int64(i))
+			}
+		}(w)
+	}
+
+	mutators.Wait()
+	close(stop)
+	scraper.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("final counter %d, want %d", got, workers*perWorker)
+	}
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("final histogram count %d, want %d", s.Count, workers*perWorker)
+	}
+	var bucketTotal int64
+	for _, b := range s.Buckets {
+		bucketTotal += b
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("final bucket total %d != count %d", bucketTotal, s.Count)
+	}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("morph_ops_total", "Total ops.").Add(42)
+	r.Gauge("morph_depth", "Ring depth.").Set(7)
+	r.CounterL("morph_frames_total", "Frames by type.", "type", "submit").Add(3)
+	r.CounterL("morph_frames_total", "Frames by type.", "type", "receipt").Add(9)
+	h := r.Histogram("morph_lat_ns", "Latency.")
+	h.Record(1)
+	h.Record(100)
+	h.Record(1000)
+	r.GaugeFunc("morph_live", "Live.", func() int64 { return 5 })
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	wants := []string{
+		"# HELP morph_ops_total Total ops.",
+		"# TYPE morph_ops_total counter",
+		"morph_ops_total 42",
+		"# TYPE morph_depth gauge",
+		"morph_depth 7",
+		"# TYPE morph_frames_total counter",
+		"morph_frames_total{type=\"receipt\"} 9",
+		"morph_frames_total{type=\"submit\"} 3",
+		"# TYPE morph_lat_ns histogram",
+		"morph_lat_ns_bucket{le=\"1\"} 1",
+		"morph_lat_ns_bucket{le=\"128\"} 2",
+		"morph_lat_ns_bucket{le=\"1024\"} 3",
+		"morph_lat_ns_bucket{le=\"+Inf\"} 3",
+		"morph_lat_ns_sum 1101",
+		"morph_lat_ns_count 3",
+		"morph_live 5",
+	}
+	for _, want := range wants {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Exactly one HELP header per family even with multiple series.
+	if n := strings.Count(out, "# HELP morph_frames_total"); n != 1 {
+		t.Errorf("want 1 family header for morph_frames_total, got %d", n)
+	}
+	// receipt sorts before submit within the family.
+	if strings.Index(out, `type="receipt"`) > strings.Index(out, `type="submit"`) {
+		t.Error("labelled series not sorted by label value")
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "h").Add(10)
+	h := r.Histogram("b_ns", "h")
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i)
+	}
+	samples := r.Snapshot()
+	if len(samples) != 2 {
+		t.Fatalf("want 2 samples, got %d", len(samples))
+	}
+	if samples[0].Name != "a_total" || samples[0].Kind != "counter" || samples[0].Value != 10 {
+		t.Fatalf("counter sample: %+v", samples[0])
+	}
+	hs := samples[1]
+	if hs.Kind != "histogram" || hs.Count != 100 || hs.Sum != 5050 || hs.P50 == 0 {
+		t.Fatalf("histogram sample: %+v", hs)
+	}
+}
+
+func TestRegisterRuntime(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "morph_go_goroutines") {
+		t.Fatalf("runtime gauges missing:\n%s", sb.String())
+	}
+	RegisterRuntime(nil) // must not panic
+}
+
+func BenchmarkTelemetryInstruments(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "h")
+	h := r.Histogram("bench_ns", "h")
+	var nilC *Counter
+	var nilH *Histogram
+
+	b.Run("counter-inc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Add(1)
+		}
+	})
+	b.Run("counter-addw", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.AddW(i, 1)
+		}
+	})
+	b.Run("histogram-record", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.RecordW(i, int64(i))
+		}
+	})
+	b.Run("nil-counter-inc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			nilC.Add(1)
+		}
+	})
+	b.Run("nil-histogram-record", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			nilH.RecordW(i, int64(i))
+		}
+	})
+	b.Run("scrape-merge", func(b *testing.B) {
+		var sb strings.Builder
+		for i := 0; i < b.N; i++ {
+			sb.Reset()
+			_ = r.WriteProm(&sb)
+		}
+	})
+}

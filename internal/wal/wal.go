@@ -61,8 +61,10 @@ import (
 	"hash/crc32"
 	"io"
 	"sync"
+	"time"
 
 	"morphstream/internal/store"
+	"morphstream/internal/telemetry"
 )
 
 // Record is one punctuation's durable unit: the net state delta of batch Seq.
@@ -128,6 +130,11 @@ type Options struct {
 	// MaxDiffChain caps the diffs stacked on one base regardless of size.
 	// 0 uses DefaultMaxDiffChain.
 	MaxDiffChain int
+	// Registry, when non-nil, receives the log's series: appends and bytes,
+	// fsync latency, snapshot base/diff counts, and replay statistics. All
+	// recordings happen on the single-writer append/snapshot path or during
+	// recovery — never concurrently.
+	Registry *telemetry.Registry
 }
 
 // ErrCorrupt reports an undecodable frame before the tail of the last
@@ -169,6 +176,32 @@ type Log struct {
 	baseBytes  int64
 	chainBytes int64
 	chainLen   int
+
+	inst walInstruments
+}
+
+// walInstruments are the log's registry series; all nil (no-op) without a
+// Registry in Options.
+type walInstruments struct {
+	appends       *telemetry.Counter
+	bytes         *telemetry.Counter
+	fsyncNS       *telemetry.Histogram
+	snapBase      *telemetry.Counter
+	snapDiff      *telemetry.Counter
+	replayRecords *telemetry.Counter
+	replaySkipped *telemetry.Counter
+}
+
+// syncTimed fsyncs the sink, recording latency when instrumented. The clock
+// is read only when a histogram exists, so uninstrumented logs pay nothing.
+func (l *Log) syncTimed() error {
+	if l.inst.fsyncNS == nil {
+		return l.sink.Sync()
+	}
+	start := time.Now()
+	err := l.sink.Sync()
+	l.inst.fsyncNS.Record(int64(time.Since(start)))
+	return err
 }
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -442,6 +475,17 @@ func Open(sink Sink, opts Options) (*Log, *Recovery, error) {
 		maxChain:   maxChain,
 		baseSeq:    -1,
 	}
+	if reg := opts.Registry; reg != nil {
+		l.inst = walInstruments{
+			appends:       reg.Counter("morph_wal_appends_total", "Punctuation records appended."),
+			bytes:         reg.Counter("morph_wal_bytes_total", "Framed record bytes appended."),
+			fsyncNS:       reg.Histogram("morph_wal_fsync_ns", "Sink fsync latency (ns)."),
+			snapBase:      reg.Counter("morph_wal_snapshots_base_total", "Full-table base snapshots written."),
+			snapDiff:      reg.Counter("morph_wal_snapshots_diff_total", "Incremental diff snapshots written."),
+			replayRecords: reg.Counter("morph_wal_replay_records_total", "Records replayed during recovery."),
+			replaySkipped: reg.Counter("morph_wal_replay_skipped_total", "Replay records skipped for Seq idempotence."),
+		}
+	}
 	rec := &Recovery{SnapshotSeq: -1, BaseSeq: -1, log: l}
 
 	snaps, err := sink.Snapshots()
@@ -551,12 +595,14 @@ func (r *Recovery) Next() (Record, error) {
 		r.off += int64(8 + size)
 		if rcd.Seq <= r.LastSeq {
 			r.Skipped++
+			r.log.inst.replaySkipped.Inc()
 			continue
 		}
 		r.LastSeq = rcd.Seq
 		if rcd.MaxTS > r.MaxTS {
 			r.MaxTS = rcd.MaxTS
 		}
+		r.log.inst.replayRecords.Inc()
 		return rcd, nil
 	}
 }
@@ -637,18 +683,20 @@ func (l *Log) Append(r Record) error {
 	if err := l.sink.Append(l.encBuf.Bytes()); err != nil {
 		return err
 	}
+	l.inst.appends.Inc()
+	l.inst.bytes.Add(int64(l.encBuf.Len()))
 	l.lastSeq = r.Seq
 	if r.MaxTS > l.maxTS {
 		l.maxTS = r.MaxTS
 	}
 	switch l.policy {
 	case SyncPunctuation:
-		return l.sink.Sync()
+		return l.syncTimed()
 	case SyncInterval:
 		l.unsynced++
 		if l.unsynced >= l.syncEvery {
 			l.unsynced = 0
-			return l.sink.Sync()
+			return l.syncTimed()
 		}
 	}
 	return nil
@@ -692,6 +740,7 @@ func (l *Log) Snapshot(seq int64, maxTS uint64, shards [][]store.Entry) error {
 	l.chainBytes = 0
 	l.chainLen = 0
 	l.snapSeq = seq
+	l.inst.snapBase.Inc()
 	return nil
 }
 
@@ -720,6 +769,7 @@ func (l *Log) SnapshotDiff(seq int64, maxTS uint64, shards [][]store.Entry) erro
 	l.chainBytes += int64(len(payload))
 	l.chainLen++
 	l.snapSeq = seq
+	l.inst.snapDiff.Inc()
 	return nil
 }
 
@@ -729,7 +779,7 @@ func (l *Log) SnapshotDiff(seq int64, maxTS uint64, shards [][]store.Entry) erro
 // and snapshots below keepSnaps (the new base for a rotation, the existing
 // base for a diff).
 func (l *Log) writeAndRotate(seq int64, payload []byte, keepSnaps int64) error {
-	if err := l.sink.Sync(); err != nil {
+	if err := l.syncTimed(); err != nil {
 		return err
 	}
 	if err := l.sink.WriteSnapshot(seq, payload); err != nil {
@@ -745,7 +795,7 @@ func (l *Log) writeAndRotate(seq int64, payload []byte, keepSnaps int64) error {
 }
 
 // Sync forces an fsync regardless of policy.
-func (l *Log) Sync() error { return l.sink.Sync() }
+func (l *Log) Sync() error { return l.syncTimed() }
 
 // LastSeq returns the highest batch sequence appended or recovered.
 func (l *Log) LastSeq() int64 { return l.lastSeq }

@@ -81,9 +81,9 @@ import (
 	"time"
 
 	"morphstream/internal/engine"
-	"morphstream/internal/metrics"
 	"morphstream/internal/sched"
 	"morphstream/internal/store"
+	"morphstream/internal/telemetry"
 	"morphstream/internal/txn"
 	"morphstream/internal/wal"
 )
@@ -198,10 +198,11 @@ type (
 	BatchResult = engine.BatchResult
 	// Option customises an Engine beyond the plain Config fields.
 	Option = engine.Option
-	// PipelineStats is one reading of the plan/execute overlap meter
-	// (Engine.PipelineStats): how much planning and execution time the
-	// pipeline ran simultaneously.
-	PipelineStats = metrics.OverlapStats
+	// PipelineStats is one consistent reading of the engine's pipeline
+	// counters (Engine.PipelineStats): the plan/execute overlap meter,
+	// cumulative batch/event/commit/abort totals, stage latencies, steal
+	// and park counts, ingest-ring occupancy, and WAL progress.
+	PipelineStats = engine.PipelineStats
 )
 
 // WithShards pins the number of KeyID-range shards of the execution layer
@@ -285,6 +286,41 @@ func RegisterWALValue(v any) { wal.RegisterValue(v) }
 // NewWALFileSink opens (creating if needed) a file-backed WAL sink over dir —
 // the same backend Durability.Dir configures, exposed for composition.
 func NewWALFileSink(dir string) (WALSink, error) { return wal.NewFileSink(dir) }
+
+// Telemetry (lock-free metrics registry + admin HTTP endpoint). A registry
+// holds sharded atomic instruments the engine, executor, WAL and RPC front
+// door update on their hot paths; telemetry.Serve (or the -admin flag of
+// cmd/morphserve and cmd/morphbench) exposes it over HTTP as Prometheus
+// text (/metrics), a JSON snapshot (/varz, /statusz), a health probe
+// (/healthz), and net/http/pprof. A nil registry means every instrument
+// update is a single predictable branch — telemetry is off by default.
+type (
+	// TelemetryRegistry is a set of named lock-free instruments
+	// (counters, gauges, histograms) with Prometheus and JSON exposition.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetryAdmin is the admin HTTP server over one registry.
+	TelemetryAdmin = telemetry.Admin
+)
+
+// NewTelemetryRegistry creates an empty instrument registry. Pass it to the
+// engine with WithTelemetry and to telemetry.Serve (or keep scraping it
+// in-process via its WriteProm/WriteJSON methods).
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// WithTelemetry instruments the engine (and the executor and WAL under it)
+// with the registry's counters, gauges and histograms. Instruments update
+// at batch granularity — punctuation quiescent points — plus per-ingest
+// ring occupancy, so the per-event hot path stays untouched. A nil registry
+// (or no option) disables telemetry entirely.
+func WithTelemetry(reg *TelemetryRegistry) Option { return engine.WithTelemetry(reg) }
+
+// ServeTelemetry starts the admin HTTP server for reg on addr (e.g.
+// ":9090"); it returns the server handle and the bound address. Endpoints:
+// /metrics (Prometheus 0.0.4 text), /varz and /statusz (JSON), /healthz,
+// and /debug/pprof. Close the returned Admin to stop serving.
+func ServeTelemetry(addr string, reg *TelemetryRegistry) (*TelemetryAdmin, string, error) {
+	return telemetry.Serve(addr, reg)
+}
 
 // New creates an engine over a fresh state table.
 func New(cfg Config, opts ...Option) *Engine { return engine.New(cfg, opts...) }
